@@ -1,0 +1,85 @@
+"""Extension — §9's future-work applications built on SND's metricity.
+
+The paper proposes (future work) using SND for "network state
+classification, clustering, and search". This bench exercises all three on
+regime-labelled data:
+
+* clustering — k-medoids over pairwise SND separates ICC-driven from
+  random transitions without labels;
+* classification — 1-NN on per-unit SND recovers the regime labels;
+* search — the VP-tree answers nearest-state queries with fewer distance
+  evaluations than brute force (triangle-inequality pruning).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import experiment_snd, print_table, record
+from repro.analysis.metric_space import KnnStateClassifier, VPTree, k_medoids
+from repro.datasets.synthetic import icc_transition_pairs
+
+
+def run_experiment(verbose: bool = True) -> dict:
+    graph, pairs = icc_transition_pairs(n_nodes=2_000, n_pairs=16, n_seeds=50, seed=6)
+    snd = experiment_snd(graph, n_clusters=8)
+
+    # Feature per transition: per-unit SND (the Fig. 10 statistic).
+    features = []
+    labels = []
+    for g1, g2, anomalous in pairs:
+        features.append(snd.distance(g1, g2) / max(1, g1.n_delta(g2)))
+        labels.append("random" if anomalous else "icc")
+    feats = np.asarray(features)
+
+    # --- clustering: k-medoids over |fi - fj| ------------------------- #
+    dmat = np.abs(feats[:, None] - feats[None, :])
+    cluster_labels, medoids, _ = k_medoids(dmat, 2, seed=0)
+    # Purity against the ground-truth regimes.
+    purity = 0.0
+    for c in (0, 1):
+        members = [labels[i] for i in np.flatnonzero(cluster_labels == c)]
+        if members:
+            purity += max(members.count("icc"), members.count("random"))
+    purity /= len(labels)
+
+    # --- classification: 1-NN leave-half-out -------------------------- #
+    half = len(feats) // 2
+    clf = KnnStateClassifier(lambda a, b: abs(float(a) - float(b)), k=1)
+    clf.fit(list(feats[:half]), labels[:half])
+    accuracy = clf.score(list(feats[half:]), labels[half:])
+
+    # --- search: VP-tree pruning vs brute force ----------------------- #
+    tree = VPTree(
+        list(feats), lambda a, b: abs(float(a) - float(b)), seed=0
+    )
+    evaluations = 0
+    queries = 10
+    rng = np.random.default_rng(1)
+    for _ in range(queries):
+        tree.nearest(float(rng.uniform(feats.min(), feats.max())))
+        evaluations += tree.last_query_evaluations
+    saved = 1.0 - evaluations / (queries * len(feats))
+
+    rows = [
+        ["k-medoids clustering purity", round(purity, 3)],
+        ["1-NN classification accuracy", round(accuracy, 3)],
+        ["VP-tree distance evals saved", f"{saved:.0%}"],
+    ]
+    print_table("§9 extension — SND as a metric space", ["application", "result"], rows,
+                verbose=verbose)
+    record("extension_metric_space", "clustering_purity", purity)
+    record("extension_metric_space", "knn_accuracy", accuracy)
+    record("extension_metric_space", "vptree_savings", saved)
+    return {"purity": purity, "accuracy": accuracy, "saved": saved}
+
+
+def test_metric_space_applications(benchmark):
+    out = benchmark.pedantic(run_experiment, kwargs={"verbose": False}, rounds=1)
+    assert out["purity"] >= 0.65
+    assert out["accuracy"] >= 0.6
+    assert out["saved"] > 0.0
+
+
+if __name__ == "__main__":
+    run_experiment()

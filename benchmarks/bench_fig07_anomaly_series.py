@@ -1,0 +1,70 @@
+"""Fig. 7 — distance spikes at simulated anomalies in a 40-state series.
+
+Paper setup: |V| = 20k scale-free (γ = -2.3), 40 states generated with
+P_nbr = 0.12 / P_ext = 0.01, anomalous states with 0.08 / 0.05 (sum
+preserved). Expected shape: SND produces well-noticeable spikes exactly at
+the simulated anomalies; the spike rank of SND at the true anomalies beats
+the baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import experiment_snd, print_table, record, series_scores
+from repro.datasets.synthetic import Fig7Config, fig7_dataset
+from repro.distances import DistanceContext, default_registry
+
+BURN_IN = 6
+
+
+def run_experiment(verbose: bool = True) -> dict:
+    cfg = Fig7Config()
+    graph, series = fig7_dataset(cfg)
+    truth = {t - 1 for t in cfg.anomalous}  # transition index of state t
+
+    registry = default_registry()
+    context = DistanceContext(graph=graph, snd=experiment_snd(graph))
+    counts = series.activation_counts()
+
+    rows = []
+    outputs = {}
+    for name in ["snd", "hamming", "walk-dist", "quad-form"]:
+        distances = registry.series(name, series, context)
+        _, scores = series_scores(distances, counts, burn_in=BURN_IN)
+        order = np.argsort(-scores) + BURN_IN
+        top3 = set(order[:3].tolist())
+        hits = len(top3 & truth)
+        rows.append([name, sorted(top3), hits])
+        outputs[name] = {"scores": scores, "hits": hits}
+        record("fig7", "top3_hits", hits, measure=name)
+    print_table(
+        f"Fig. 7 — top-3 spike transitions (truth: {sorted(truth)}) on "
+        f"n={graph.num_nodes}",
+        ["measure", "top-3 spikes", "hits/3"],
+        rows,
+        verbose=verbose,
+    )
+    if verbose:
+        print("paper: SND shows a well-noticeable spike per anomaly; "
+              "baselines do not recognise them")
+    return outputs
+
+
+def test_fig7_snd_spikes(benchmark):
+    outputs = benchmark.pedantic(run_experiment, kwargs={"verbose": False}, rounds=1)
+    assert outputs["snd"]["hits"] >= 2  # at least 2 of 3 anomalies in top-3
+
+
+def test_fig7_single_snd_transition(benchmark):
+    """Micro-benchmark: one SND evaluation on adjacent Fig. 7 states."""
+    cfg = Fig7Config()
+    graph, series = fig7_dataset(cfg)
+    snd = experiment_snd(graph)
+    a, b = series[len(series) // 2], series[len(series) // 2 + 1]
+    value = benchmark(lambda: snd.distance(a, b))
+    assert value >= 0
+
+
+if __name__ == "__main__":
+    run_experiment()

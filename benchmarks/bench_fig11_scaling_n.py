@@ -1,0 +1,102 @@
+"""Fig. 11 — SND computation time vs network size n (fixed n∆).
+
+Paper: n∆ = 1000 fixed, n grows to 200k; the reduced method (Theorem 4)
+scales near-linearly while the direct computation through a general-purpose
+LP solver (CPLEX there, HiGHS here) blows up and becomes unusable beyond a
+few thousand nodes.
+
+CI scale sweeps n in the low thousands with n∆ = 120 and caps the direct
+method early (it is the point of the figure that it cannot follow).
+``REPRO_SCALE=paper`` extends the sweep.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+from common import experiment_snd, paper_scale, print_table, record
+from repro.datasets.synthetic import giant_component_powerlaw
+from repro.opinions.dynamics import random_transition, seed_state
+from repro.snd import snd_direct
+
+
+def _instance(n: int, n_delta: int, seed: int = 0):
+    graph = giant_component_powerlaw(n, -2.3, k_min=2, seed=seed)
+    base = seed_state(graph, max(n_delta, graph.num_nodes // 20), seed=seed + 1)
+    changed = random_transition(graph, base, n_delta, seed=seed + 2)
+    return graph, base, changed
+
+
+def run_experiment(verbose: bool = True) -> dict:
+    if paper_scale():
+        sizes = [1_000, 5_000, 10_000, 30_000, 50_000, 90_000, 200_000]
+        direct_cap = 5_000
+        n_delta = 1_000
+    else:
+        sizes = [500, 1_000, 2_000, 4_000, 8_000]
+        direct_cap = 1_000
+        n_delta = 120
+
+    # Warm-up: first scipy/HiGHS invocations pay one-time import costs.
+    warm_graph, warm_a, warm_b = _instance(sizes[0], min(n_delta, 50), seed=9)
+    experiment_snd(warm_graph, n_clusters=4, solver="lp").distance(warm_a, warm_b)
+
+    rows = []
+    fast_times = {}
+    direct_times = {}
+    for n in sizes:
+        graph, base, changed = _instance(n, n_delta)
+        snd = experiment_snd(graph, n_clusters=16, solver="lp")
+        start = time.perf_counter()
+        fast_value = snd.distance(base, changed)
+        fast_t = time.perf_counter() - start
+        fast_times[n] = fast_t
+        record("fig11", "fast_seconds", fast_t, n=n, n_delta=n_delta)
+
+        if n <= direct_cap:
+            start = time.perf_counter()
+            direct_value = snd_direct(graph, base, changed, banks=snd.banks, method="lp")
+            direct_t = time.perf_counter() - start
+            direct_times[n] = direct_t
+            record("fig11", "direct_seconds", direct_t, n=n, n_delta=n_delta)
+            agreement = abs(fast_value - direct_value) <= 1e-5 * max(1.0, direct_value)
+            rows.append([graph.num_nodes, round(fast_t, 3), round(direct_t, 3),
+                         round(direct_t / fast_t, 1), "yes" if agreement else "NO"])
+        else:
+            rows.append([graph.num_nodes, round(fast_t, 3), "—", "—", "—"])
+    print_table(
+        f"Fig. 11 — time (s) computing SND, n∆={n_delta} fixed",
+        ["n (giant)", "reduced (Thm. 4)", "direct LP", "speedup", "values agree"],
+        rows,
+        verbose=verbose,
+    )
+    if verbose:
+        growth = fast_times[sizes[-1]] / fast_times[sizes[0]]
+        size_ratio = sizes[-1] / sizes[0]
+        print(f"\nreduced-method growth over a {size_ratio:.0f}x size range: "
+              f"{growth:.1f}x (paper: near-linear; direct method unusable early)")
+    return {"fast": fast_times, "direct": direct_times}
+
+
+def test_fig11_shape(benchmark):
+    out = benchmark.pedantic(run_experiment, kwargs={"verbose": False}, rounds=1)
+    sizes = sorted(out["fast"])
+    # Direct must be much slower than reduced wherever both ran.
+    for n, direct_t in out["direct"].items():
+        assert direct_t > out["fast"][n]
+    # Reduced-method growth stays well below quadratic across the sweep.
+    growth = out["fast"][sizes[-1]] / max(out["fast"][sizes[0]], 1e-9)
+    size_ratio = sizes[-1] / sizes[0]
+    assert growth < size_ratio**2
+
+
+def test_fig11_single_fast_call(benchmark):
+    graph, base, changed = _instance(2_000, 120)
+    snd = experiment_snd(graph, n_clusters=16, solver="lp")
+    value = benchmark(lambda: snd.distance(base, changed))
+    assert value > 0
+
+
+if __name__ == "__main__":
+    run_experiment()

@@ -1,0 +1,64 @@
+"""Fig. 12 — SND computation time vs the number of changed users n∆.
+
+Paper: n = 20k fixed, n∆ grows to 10k; the reduced method's cost grows
+with n∆ (the n∆ single-source shortest paths plus the n∆-sized
+transportation problem dominate).
+"""
+
+from __future__ import annotations
+
+import time
+
+from common import experiment_snd, paper_scale, print_table, record
+from repro.datasets.synthetic import giant_component_powerlaw
+from repro.opinions.dynamics import random_transition, seed_state
+
+
+def run_experiment(verbose: bool = True) -> dict:
+    if paper_scale():
+        n = 20_000
+        deltas = [250, 500, 1_000, 2_000, 4_000, 10_000]
+    else:
+        n = 4_000
+        deltas = [25, 50, 100, 200, 400, 800]
+
+    graph = giant_component_powerlaw(n, -2.3, k_min=2, seed=0)
+    snd = experiment_snd(graph, n_clusters=16, solver="lp")
+
+    # Warm-up (one-time scipy/HiGHS import costs).
+    warm = seed_state(graph, 50, seed=7)
+    snd.distance(warm, random_transition(graph, warm, 10, seed=8))
+
+    rows = []
+    times = {}
+    for n_delta in deltas:
+        base = seed_state(graph, max(50, n_delta), seed=1)
+        changed = random_transition(graph, base, n_delta, seed=2)
+        actual_delta = base.n_delta(changed)
+        start = time.perf_counter()
+        snd.distance(base, changed)
+        elapsed = time.perf_counter() - start
+        times[actual_delta] = elapsed
+        rows.append([actual_delta, round(elapsed, 3)])
+        record("fig12", "seconds", elapsed, n=graph.num_nodes, n_delta=actual_delta)
+    print_table(
+        f"Fig. 12 — time (s) computing SND, n={graph.num_nodes} fixed",
+        ["n∆", "seconds"],
+        rows,
+        verbose=verbose,
+    )
+    if verbose:
+        print("paper: time grows with n∆ (Dijkstra count + reduced "
+              "transportation problem size)")
+    return times
+
+
+def test_fig12_monotone_growth(benchmark):
+    times = benchmark.pedantic(run_experiment, kwargs={"verbose": False}, rounds=1)
+    deltas = sorted(times)
+    # Large n∆ must cost more than small n∆ (allowing local noise).
+    assert times[deltas[-1]] > times[deltas[0]]
+
+
+if __name__ == "__main__":
+    run_experiment()

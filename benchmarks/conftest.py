@@ -1,0 +1,7 @@
+"""Pytest wiring for the benchmark suite."""
+
+import sys
+from pathlib import Path
+
+# Bench modules import each other / common.py by module name.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,74 @@
+"""Plugging a custom opinion-dynamics model into SND.
+
+SND's ground distance (Eq. 2) is parameterised by an opinion model that
+prices each edge for spreading a given opinion. The library ships three
+(model-agnostic, competitive independent cascade, competitive linear
+threshold); this example implements a fourth — a *stubborn-celebrities*
+model where high-degree users are expensive to route opinions through —
+and compares the resulting distances.
+
+Run:  python examples/custom_opinion_model.py
+"""
+
+import numpy as np
+
+from repro import SND, ModelAgnostic, NetworkState
+from repro.opinions import IndependentCascadeModel, OpinionModel
+from repro.opinions.models.base import check_opinion
+from repro.snd import allocate_banks
+
+
+class StubbornCelebrityModel(OpinionModel):
+    """Spreading penalties that grow with the *receiver's* popularity.
+
+    Celebrities (high in-degree users) are hard to persuade: the adoption
+    leg of every edge into them carries an extra log-degree penalty. Edges
+    between like-minded users stay cheap, adverse edges expensive — as in
+    the model-agnostic default.
+    """
+
+    name = "stubborn-celebrities"
+
+    def __init__(self, celebrity_weight: float = 2.0):
+        self.celebrity_weight = float(celebrity_weight)
+        self._base = ModelAgnostic()
+
+    def spreading_penalties(self, graph, state, opinion):
+        opinion = check_opinion(opinion)
+        base = self._base.spreading_penalties(graph, state, opinion)
+        in_degrees = graph.in_degrees().astype(float)
+        stubbornness = self.celebrity_weight * np.log1p(in_degrees)
+        return base + stubbornness[graph.indices]
+
+    def supports_simulation(self):
+        return False
+
+
+def main() -> None:
+    from repro.datasets.synthetic import giant_component_powerlaw
+
+    graph = giant_component_powerlaw(1500, -2.3, k_min=1, seed=7)
+    banks = allocate_banks(graph, n_clusters=8, hop_cost=1.0, seed=0)
+
+    # A '+' opinion relocates from a peripheral user to a celebrity (both in
+    # the giant component, so the move is realisable through the network).
+    degrees = graph.in_degrees()
+    celebrity = int(np.argmax(degrees))
+    candidates = np.flatnonzero(degrees == 1)
+    nobody = int(candidates[0]) if candidates.size else int(np.argmin(degrees))
+    base = NetworkState.from_active_sets(graph.num_nodes, positive=[nobody])
+    to_celebrity = NetworkState.from_active_sets(graph.num_nodes, positive=[celebrity])
+
+    print(f"celebrity user {celebrity} (in-degree {degrees[celebrity]}), "
+          f"peripheral user {nobody} (in-degree {degrees[nobody]})\n")
+    for model in (ModelAgnostic(), IndependentCascadeModel(0.3), StubbornCelebrityModel()):
+        snd = SND(graph, model, banks=banks)
+        d = snd.distance(base, to_celebrity)
+        print(f"{model.name:22s} SND(nobody -> celebrity) = {d:8.1f}")
+
+    print("\nThe custom model prices opinion movement toward celebrities "
+          "higher — same API, one method implemented.")
+
+
+if __name__ == "__main__":
+    main()

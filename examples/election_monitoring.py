@@ -1,0 +1,69 @@
+"""Detecting anomalous quarters in a political social network.
+
+Reproduces the paper's Fig. 9 workflow on the simulated political-Twitter
+dataset: compute SND between consecutive quarterly snapshots, score each
+transition with the spike statistic S_t, and cross-reference the flagged
+quarters against the known event timeline. Consensus events (election)
+spike every measure; polarizing events (Obama Care) spike only SND.
+
+Run:  python examples/election_monitoring.py
+"""
+
+import numpy as np
+
+from repro.analysis import detect_anomalies
+from repro.datasets import simulated_twitter_dataset
+from repro.distances import DistanceContext, default_registry
+from repro.snd import SND, allocate_banks
+
+
+def main() -> None:
+    data = simulated_twitter_dataset(seed=2008)
+    print(f"dataset: {data.graph.num_nodes} users, "
+          f"{len(data.series)} quarterly snapshots, "
+          f"{len(data.events)} injected events")
+
+    banks = allocate_banks(
+        data.graph, n_clusters=16, hop_cost=1.0, gamma_scale=0.5, seed=0
+    )
+    snd = SND(data.graph, banks=banks)
+    registry = default_registry()
+    context = DistanceContext(graph=data.graph, snd=snd)
+
+    print("\ncomputing quarterly distances...")
+    distances = {
+        name: registry.series(name, data.series, context)
+        for name in ("snd", "hamming")
+    }
+
+    print(f"\n{'quarter':14s} {'SND score':>10s} {'hamming score':>14s}  event")
+    results = {
+        name: detect_anomalies(d, series=data.series, top_k=3)
+        for name, d in distances.items()
+    }
+    for t in range(len(data.series) - 1):
+        event = data.event_quarters.get(t + 1)
+        marker = f"  <- {event.name} ({event.kind})" if event else ""
+        print(
+            f"{data.series.labels[t + 1]:14s} "
+            f"{results['snd'].scores[t]:10.3f} "
+            f"{results['hamming'].scores[t]:14.3f}{marker}"
+        )
+
+    print("\nflagged by SND:     quarters", results["snd"].flagged.tolist())
+    print("flagged by hamming: quarters", results["hamming"].flagged.tolist())
+
+    polarizing = [e.quarter - 1 for e in data.events if e.kind == "polarizing"]
+    snd_scores = results["snd"].scores
+    ham_scores = results["hamming"].scores
+    print(
+        f"\nmean spike score at polarizing events: "
+        f"SND {np.mean(snd_scores[polarizing]):+.3f} vs "
+        f"hamming {np.mean(ham_scores[polarizing]):+.3f}"
+    )
+    print("-> polarized responses move opinions along community lines at "
+          "constant volume; only the propagation-aware measure reacts.")
+
+
+if __name__ == "__main__":
+    main()

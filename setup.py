@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+All metadata lives in pyproject.toml (PEP 621); this file exists so that
+``pip install -e .`` succeeds in offline environments where the PEP 660
+editable build cannot fetch the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""repro — Social Network Distance (SND) for polar opinion dynamics.
+
+A full reproduction of Amelkin, Singh & Bogdanov, *A Distance Measure for
+the Analysis of Polar Opinion Dynamics in Social Networks* (ICDE 2017):
+the EMD* histogram distance, SND itself with three opinion models, the
+linear-time reduced computation, and the paper's anomaly-detection /
+opinion-prediction applications.
+
+Quickstart::
+
+    from repro import SND, NetworkState
+    from repro.graph import powerlaw_configuration_graph
+
+    graph = powerlaw_configuration_graph(1000, -2.3, seed=0)
+    snd = SND(graph, seed=0)
+    a = NetworkState.from_active_sets(1000, positive=[1, 2], negative=[3])
+    b = NetworkState.from_active_sets(1000, positive=[1, 5], negative=[3])
+    print(snd.distance(a, b))
+"""
+
+from repro.analysis import DistancePredictor, detect_anomalies, roc_auc, tpr_at_fpr
+from repro.emd import emd, emd_alpha, emd_hat, emd_star
+from repro.graph import DiGraph
+from repro.opinions import (
+    IndependentCascadeModel,
+    LinearThresholdModel,
+    ModelAgnostic,
+    NetworkState,
+    StateSeries,
+)
+from repro.snd import SND, snd_direct
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "DiGraph",
+    "NetworkState",
+    "StateSeries",
+    "ModelAgnostic",
+    "IndependentCascadeModel",
+    "LinearThresholdModel",
+    "SND",
+    "snd_direct",
+    "emd",
+    "emd_hat",
+    "emd_alpha",
+    "emd_star",
+    "DistancePredictor",
+    "detect_anomalies",
+    "roc_auc",
+    "tpr_at_fpr",
+]

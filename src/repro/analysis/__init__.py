@@ -1,0 +1,32 @@
+"""Application layer: anomaly detection (§6.2), ROC scoring, opinion
+prediction (§6.3) and its non-distance baselines."""
+
+from repro.analysis.anomaly import (
+    AnomalyDetectionResult,
+    anomaly_scores,
+    detect_anomalies,
+    normalize_distance_series,
+)
+from repro.analysis.baselines import community_lp_predict, nhood_voting_predict
+from repro.analysis.extrapolation import extrapolate_next
+from repro.analysis.metric_space import KnnStateClassifier, VPTree, k_medoids
+from repro.analysis.prediction import DistancePredictor, PredictionOutcome
+from repro.analysis.roc import roc_auc, roc_curve, tpr_at_fpr
+
+__all__ = [
+    "normalize_distance_series",
+    "anomaly_scores",
+    "detect_anomalies",
+    "AnomalyDetectionResult",
+    "roc_curve",
+    "roc_auc",
+    "tpr_at_fpr",
+    "extrapolate_next",
+    "VPTree",
+    "k_medoids",
+    "KnnStateClassifier",
+    "DistancePredictor",
+    "PredictionOutcome",
+    "nhood_voting_predict",
+    "community_lp_predict",
+]

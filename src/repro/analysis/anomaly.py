@@ -1,0 +1,124 @@
+"""Anomalous network-state detection from a distance series (§6.2).
+
+Pipeline (exactly the paper's): compute adjacent-state distances, normalise
+each by the number of active users at that time, scale to [0, 1], then score
+every transition with
+
+.. math::
+   S_t = (d_t - d_{t-1}) + (d_t - d_{t+1})
+
+— a spike detector. Transitions ranked by ``S_t`` feed the ROC analysis
+(Fig. 8); thresholding gives the detector (Fig. 7 / Fig. 9 markers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.opinions.state import StateSeries
+from repro.utils.validation import check_vector
+
+__all__ = [
+    "normalize_distance_series",
+    "anomaly_scores",
+    "detect_anomalies",
+    "AnomalyDetectionResult",
+]
+
+
+def normalize_distance_series(
+    distances: np.ndarray,
+    active_counts: np.ndarray | None = None,
+    *,
+    scale: bool = True,
+) -> np.ndarray:
+    """Normalise raw adjacent-state distances per the paper's protocol.
+
+    ``distances[t]`` is the distance between states ``t`` and ``t+1``; it is
+    divided by the number of users active at time ``t+1`` (the state whose
+    behaviour is being judged), then the series is scaled to max 1.
+    """
+    d = check_vector(distances, "distances")
+    if active_counts is not None:
+        counts = check_vector(active_counts, "active_counts")
+        if counts.shape[0] == d.shape[0] + 1:
+            counts = counts[1:]  # per-state counts -> per-transition counts
+        elif counts.shape[0] != d.shape[0]:
+            raise ValidationError(
+                "active_counts must align with transitions "
+                f"({d.shape[0]}) or states ({d.shape[0] + 1})"
+            )
+        safe = np.maximum(counts, 1.0)
+        d = d / safe
+    if scale and d.size and d.max() > 0:
+        d = d / d.max()
+    return d
+
+
+def anomaly_scores(normalized: np.ndarray) -> np.ndarray:
+    """The spike score ``S_t = (d_t - d_{t-1}) + (d_t - d_{t+1})``.
+
+    Boundary transitions lack one neighbour; the missing term is taken as 0
+    (equivalently ``d_{-1} = d_0`` and ``d_T = d_{T-1}``), so first/last
+    transitions are scored by their single available slope.
+    """
+    d = check_vector(normalized, "normalized distances")
+    if d.size == 0:
+        return d.copy()
+    prev = np.concatenate([[d[0]], d[:-1]])
+    nxt = np.concatenate([d[1:], [d[-1]]])
+    return (d - prev) + (d - nxt)
+
+
+@dataclass
+class AnomalyDetectionResult:
+    """Detector output: per-transition scores and the flagged indices."""
+
+    normalized: np.ndarray
+    scores: np.ndarray
+    flagged: np.ndarray
+    threshold: float
+
+    def ranking(self) -> np.ndarray:
+        """Transition indices sorted by decreasing anomaly score."""
+        return np.argsort(-self.scores, kind="stable")
+
+
+def detect_anomalies(
+    distances: np.ndarray,
+    *,
+    series: StateSeries | None = None,
+    active_counts: np.ndarray | None = None,
+    threshold: float | None = None,
+    top_k: int | None = None,
+) -> AnomalyDetectionResult:
+    """Run the full §6.2 detection pipeline on a raw distance series.
+
+    Exactly one of *threshold* (flag scores above it) and *top_k* (flag the
+    k best-scored transitions) may be given; the default flags scores above
+    ``mean + 2·std`` of the score series.
+    """
+    if threshold is not None and top_k is not None:
+        raise ValidationError("pass either threshold or top_k, not both")
+    if active_counts is None and series is not None:
+        active_counts = series.activation_counts()
+    normalized = normalize_distance_series(distances, active_counts)
+    scores = anomaly_scores(normalized)
+    if top_k is not None:
+        order = np.argsort(-scores, kind="stable")
+        flagged = np.sort(order[: int(top_k)])
+        used_threshold = float(scores[order[min(int(top_k), len(order)) - 1]]) if len(order) else 0.0
+    else:
+        if threshold is None:
+            threshold = float(scores.mean() + 2.0 * scores.std()) if scores.size else 0.0
+        flagged = np.flatnonzero(scores > threshold)
+        used_threshold = float(threshold)
+    return AnomalyDetectionResult(
+        normalized=normalized,
+        scores=scores,
+        flagged=flagged,
+        threshold=used_threshold,
+    )

@@ -1,0 +1,48 @@
+"""Time-series extrapolation for the §6.3 prediction pipeline.
+
+The paper assumes the network evolved "smoothly" over the recent states and
+extrapolates the adjacent-state distance series one step ahead to estimate
+``d*``, the expected distance from the latest state to the (unknown) current
+one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import PredictionError
+from repro.utils.validation import check_vector
+
+__all__ = ["extrapolate_next"]
+
+
+def extrapolate_next(values, *, method: str = "linear") -> float:
+    """One-step-ahead forecast of a short distance series.
+
+    * ``"linear"`` — least-squares line through the points, evaluated at the
+      next index (falls back to the mean for a single point);
+    * ``"mean"`` — the series average;
+    * ``"last"`` — the final value (random-walk forecast).
+
+    Forecasts are clamped at 0 (distances cannot be negative).
+    """
+    v = check_vector(values, "values")
+    if v.size == 0:
+        raise PredictionError("cannot extrapolate an empty series")
+    if method == "last":
+        forecast = float(v[-1])
+    elif method == "mean":
+        forecast = float(v.mean())
+    elif method == "linear":
+        if v.size == 1:
+            forecast = float(v[0])
+        else:
+            x = np.arange(v.size, dtype=np.float64)
+            slope, intercept = np.polyfit(x, v, 1)
+            forecast = float(slope * v.size + intercept)
+    else:
+        raise PredictionError(
+            f"unknown extrapolation method {method!r}; "
+            "expected 'linear', 'mean', or 'last'"
+        )
+    return max(forecast, 0.0)

@@ -1,0 +1,165 @@
+"""Command-line interface: ``repro-snd`` / ``python -m repro.cli``.
+
+Subcommands
+-----------
+``generate``
+    Generate a synthetic graph + opinion series and save them (npz / store).
+``distance``
+    Compute SND (and optionally baselines) between two states of a saved
+    series.
+``experiment``
+    Run one of the paper's experiments end-to-end and print its table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-snd",
+        description="Social Network Distance (SND) — ICDE 2017 reproduction",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic graph + series")
+    gen.add_argument("--nodes", type=int, default=2000)
+    gen.add_argument("--exponent", type=float, default=-2.3)
+    gen.add_argument("--states", type=int, default=20)
+    gen.add_argument("--seeds", type=int, default=100)
+    gen.add_argument("--p-nbr", type=float, default=0.10)
+    gen.add_argument("--p-ext", type=float, default=0.01)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--store", default="experiments.sqlite")
+    gen.add_argument("--name", default="synthetic")
+
+    dist = sub.add_parser("distance", help="compute distances over a saved series")
+    dist.add_argument("--store", default="experiments.sqlite")
+    dist.add_argument("--name", default="synthetic")
+    dist.add_argument(
+        "--measure",
+        default="snd",
+        choices=["snd", "hamming", "l1", "quad-form", "walk-dist"],
+    )
+    dist.add_argument("--clusters", type=int, default=None)
+
+    exp = sub.add_parser("experiment", help="run a paper experiment")
+    exp.add_argument(
+        "name",
+        choices=["fig5", "fig7", "fig8", "fig10", "table1"],
+        help="experiment id from DESIGN.md",
+    )
+    exp.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.graph.generators import powerlaw_configuration_graph
+    from repro.opinions.dynamics import generate_series
+    from repro.store import ExperimentStore
+
+    graph = powerlaw_configuration_graph(
+        args.nodes, args.exponent, k_min=2, seed=args.seed
+    )
+    series = generate_series(
+        graph,
+        args.states,
+        n_seeds=args.seeds,
+        p_nbr=args.p_nbr,
+        p_ext=args.p_ext,
+        candidate_fraction=0.05,
+        seed=args.seed,
+    )
+    with ExperimentStore(args.store) as store:
+        store.save_graph(args.name, graph)
+        store.save_series(args.name, "series", series)
+    print(
+        f"saved graph ({graph.num_nodes} nodes, {graph.num_edges} edges) and "
+        f"{len(series)}-state series as {args.name!r} in {args.store}"
+    )
+    return 0
+
+
+def _cmd_distance(args: argparse.Namespace) -> int:
+    from repro.distances import DistanceContext, default_registry
+    from repro.store import ExperimentStore
+
+    with ExperimentStore(args.store) as store:
+        graph = store.load_graph(args.name)
+        series = store.load_series(args.name, "series")
+    context = DistanceContext(graph=graph)
+    if args.measure == "snd":
+        context.ensure_snd(n_clusters=args.clusters, seed=0)
+    registry = default_registry()
+    values = registry.series(args.measure, series, context)
+    print(f"# {args.measure} distances between adjacent states")
+    for t, v in enumerate(values):
+        print(f"{t:4d} -> {t + 1:4d}: {v:.6g}")
+    return 0
+
+
+_EXPERIMENT_MODULES = {
+    "fig5": "bench_fig05_cluster_intuition",
+    "fig7": "bench_fig07_anomaly_series",
+    "fig8": "bench_fig08_roc",
+    "fig10": "bench_fig10_model_sensitivity",
+    "table1": "bench_table1_prediction",
+}
+
+
+def _find_benchmarks_dir():
+    """Locate the benchmarks/ directory (cwd first, then the repo layout
+    relative to this file for editable installs)."""
+    from pathlib import Path
+
+    candidates = [
+        Path.cwd() / "benchmarks",
+        Path(__file__).resolve().parents[2] / "benchmarks",
+    ]
+    for candidate in candidates:
+        if (candidate / "common.py").exists():
+            return candidate
+    return None
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    # The benchmark modules double as runnable experiment harnesses.
+    bench_dir = _find_benchmarks_dir()
+    if bench_dir is None:
+        print(
+            "error: cannot locate the benchmarks/ directory; run from the "
+            "repository root",
+            file=sys.stderr,
+        )
+        return 1
+    sys.path.insert(0, str(bench_dir))
+    import importlib
+
+    module = importlib.import_module(_EXPERIMENT_MODULES[args.name])
+    module.run_experiment(verbose=True)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    np.set_printoptions(precision=4, suppress=True)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "distance":
+        return _cmd_distance(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,23 @@
+"""Experiment datasets: §6 synthetic protocols and the simulated political
+Twitter dataset substituting for the paper's (unavailable) real data."""
+
+from repro.datasets.synthetic import (
+    Fig7Config,
+    Fig8Config,
+    fig7_dataset,
+    fig8_dataset,
+    icc_transition_pairs,
+    prediction_dataset,
+)
+from repro.datasets.twitter import TwitterDataset, simulated_twitter_dataset
+
+__all__ = [
+    "Fig7Config",
+    "Fig8Config",
+    "fig7_dataset",
+    "fig8_dataset",
+    "icc_transition_pairs",
+    "prediction_dataset",
+    "TwitterDataset",
+    "simulated_twitter_dataset",
+]

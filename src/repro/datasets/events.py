@@ -1,0 +1,75 @@
+"""Political-event timeline for the simulated Twitter dataset (Fig. 9).
+
+The paper grounds its Twitter anomalies in a log of US political events
+(election, inauguration, Economic Stimulus Bill, ACA, bin Laden's death)
+cross-checked against Google Trends. Real tweets are unavailable, so the
+simulated dataset injects events of two kinds the paper distinguishes:
+
+* **consensus** events — perceived uniformly, spiking activation volume
+  (every distance measure reacts);
+* **polarizing** events — splitting the society along community lines with
+  little extra volume (only propagation-aware measures react).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Event", "DEFAULT_TIMELINE", "QUARTER_LABELS"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One injected ground-truth event.
+
+    Attributes
+    ----------
+    quarter:
+        Index of the affected state in the quarterly series.
+    name:
+        Display name (mirrors the paper's annotations).
+    kind:
+        ``"consensus"`` or ``"polarizing"``.
+    intensity:
+        Relative strength in [0, 1], scales the injected activations.
+    """
+
+    quarter: int
+    name: str
+    kind: str
+    intensity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("consensus", "polarizing"):
+            raise ValueError(f"unknown event kind {self.kind!r}")
+        if not 0.0 < self.intensity <= 1.0:
+            raise ValueError(f"intensity must lie in (0, 1], got {self.intensity}")
+
+
+#: Quarterly labels May'08 - Aug'11, matching Fig. 9's x-axis.
+QUARTER_LABELS: tuple[str, ...] = (
+    "05'08-11'08",
+    "08'08-02'09",
+    "11'08-05'09",
+    "02'09-08'09",
+    "05'09-11'09",
+    "08'09-02'10",
+    "11'09-05'10",
+    "02'10-08'10",
+    "05'10-11'10",
+    "08'10-02'11",
+    "11'10-05'11",
+    "02'11-08'11",
+)
+
+#: The Fig. 9 storyline: consensus shocks (election, inauguration, Nobel,
+#: bin Laden) and polarizing shocks (stimulus bill, ACA, tax plan).
+DEFAULT_TIMELINE: tuple[Event, ...] = (
+    Event(quarter=1, name="election", kind="consensus", intensity=1.0),
+    Event(quarter=2, name="inauguration", kind="consensus", intensity=0.6),
+    Event(quarter=3, name="Economic Stimulus Bill", kind="polarizing", intensity=0.9),
+    Event(quarter=5, name="Nobel Prize", kind="consensus", intensity=0.4),
+    Event(quarter=7, name='"Obama Care"', kind="polarizing", intensity=1.0),
+    Event(quarter=9, name="Tax plan", kind="polarizing", intensity=0.7),
+    Event(quarter=11, name="bin Laden", kind="consensus", intensity=0.9),
+)

@@ -1,0 +1,227 @@
+"""Synthetic experiment datasets mirroring the §6 protocols.
+
+Each config dataclass carries the paper's parameter values as defaults,
+scaled down by the ``REPRO_SCALE`` environment knob (``ci`` default /
+``paper``) so the benches run in CI while remaining faithful at full scale.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import powerlaw_configuration_graph
+from repro.graph.traversal import weakly_connected_components
+from repro.opinions.dynamics import generate_series, random_transition, seed_state
+from repro.opinions.models.independent_cascade import IndependentCascadeModel
+from repro.opinions.state import NetworkState, StateSeries
+from repro.utils.rng import as_rng
+
+__all__ = [
+    "paper_scale",
+    "Fig7Config",
+    "Fig8Config",
+    "fig7_dataset",
+    "fig8_dataset",
+    "icc_transition_pairs",
+    "prediction_dataset",
+]
+
+
+def paper_scale() -> bool:
+    """True when ``REPRO_SCALE=paper`` requests full-size experiments."""
+    return os.environ.get("REPRO_SCALE", "ci").lower() == "paper"
+
+
+def giant_component_powerlaw(
+    n: int, exponent: float, *, k_min: int = 1, seed=None
+) -> DiGraph:
+    """Scale-free graph restricted to its largest weak component.
+
+    The anomaly experiments measure how far new activations sit from
+    existing opinion mass; with ``k_min=1`` the graph keeps a deep tree-like
+    periphery (large diameter), which carries that signal at small scale,
+    and the giant-component restriction removes unreachable-distance noise.
+    """
+    raw = powerlaw_configuration_graph(n, exponent, k_min=k_min, seed=seed)
+    labels = weakly_connected_components(raw)
+    giant_label = int(np.bincount(labels).argmax())
+    graph, _ = raw.subgraph(np.flatnonzero(labels == giant_label).tolist())
+    return graph
+
+
+@dataclass
+class Fig7Config:
+    """Fig. 7: 40-state series with parameter-swap anomalies.
+
+    Paper: |V| = 20k, γ = -2.3, P_nbr = 0.12 / P_ext = 0.01 normal,
+    0.08 / 0.05 anomalous.
+    """
+
+    n_nodes: int = field(default_factory=lambda: 20_000 if paper_scale() else 6_000)
+    exponent: float = -2.3
+    n_states: int = 40
+    n_seeds: int = field(default_factory=lambda: 400 if paper_scale() else 120)
+    p_nbr: float = 0.12
+    p_ext: float = 0.01
+    p_nbr_anomalous: float = 0.08
+    p_ext_anomalous: float = 0.05
+    anomalous: tuple = (12, 22, 32)
+    candidate_fraction: float = 0.3
+    graph_seed: int = 3
+    seed: int = 7
+
+
+@dataclass
+class Fig8Config:
+    """Fig. 8: 300-state series for ROC analysis.
+
+    Paper: |V| = 30k, γ = -2.3, P_nbr = 0.08 / P_ext = 0.001 normal,
+    0.07 / 0.011 anomalous, 300 states.
+    """
+
+    n_nodes: int = field(default_factory=lambda: 30_000 if paper_scale() else 6_000)
+    exponent: float = -2.3
+    n_states: int = field(default_factory=lambda: 300 if paper_scale() else 80)
+    n_seeds: int = field(default_factory=lambda: 300 if paper_scale() else 120)
+    p_nbr: float = 0.08
+    p_ext: float = 0.001
+    # Paper values are 0.07 / 0.011; at CI scale the signal-to-noise of an
+    # ~4k-node series needs a slightly stronger (still sum-preserving)
+    # contrast — see EXPERIMENTS.md.
+    p_nbr_anomalous: float = field(
+        default_factory=lambda: 0.07 if paper_scale() else 0.065
+    )
+    p_ext_anomalous: float = field(
+        default_factory=lambda: 0.011 if paper_scale() else 0.016
+    )
+    anomaly_fraction: float = 0.15
+    candidate_fraction: float = 0.5
+    burn_in: int = 10
+    graph_seed: int = 3
+    seed: int = 8
+
+
+def fig7_dataset(config: Fig7Config | None = None) -> tuple[DiGraph, StateSeries]:
+    """Scale-free graph + 40-state series with known anomalous transitions."""
+    cfg = config or Fig7Config()
+    rng = as_rng(cfg.seed)
+    graph = giant_component_powerlaw(
+        cfg.n_nodes, cfg.exponent, k_min=1, seed=cfg.graph_seed
+    )
+    series = generate_series(
+        graph,
+        cfg.n_states,
+        n_seeds=cfg.n_seeds,
+        p_nbr=cfg.p_nbr,
+        p_ext=cfg.p_ext,
+        anomalous=set(cfg.anomalous),
+        p_nbr_anomalous=cfg.p_nbr_anomalous,
+        p_ext_anomalous=cfg.p_ext_anomalous,
+        candidate_fraction=cfg.candidate_fraction,
+        seed=rng,
+    )
+    return graph, series
+
+
+def fig8_dataset(config: Fig8Config | None = None) -> tuple[DiGraph, StateSeries]:
+    """Scale-free graph + long series with randomly placed anomalies."""
+    cfg = config or Fig8Config()
+    rng = as_rng(cfg.seed)
+    graph = giant_component_powerlaw(
+        cfg.n_nodes, cfg.exponent, k_min=1, seed=cfg.graph_seed
+    )
+    n_anomalous = max(1, int(round(cfg.anomaly_fraction * (cfg.n_states - 1))))
+    first_eligible = cfg.burn_in + 2
+    anomalous = set(
+        int(t)
+        for t in rng.choice(
+            np.arange(first_eligible, cfg.n_states - 2),
+            size=n_anomalous,
+            replace=False,
+        )
+    )
+    series = generate_series(
+        graph,
+        cfg.n_states,
+        n_seeds=cfg.n_seeds,
+        p_nbr=cfg.p_nbr,
+        p_ext=cfg.p_ext,
+        anomalous=anomalous,
+        p_nbr_anomalous=cfg.p_nbr_anomalous,
+        p_ext_anomalous=cfg.p_ext_anomalous,
+        candidate_fraction=cfg.candidate_fraction,
+        seed=rng,
+    )
+    return graph, series
+
+
+def icc_transition_pairs(
+    *,
+    n_nodes: int | None = None,
+    exponent: float = -2.5,
+    n_pairs: int = 20,
+    n_seeds: int | None = None,
+    activation_prob: float = 0.3,
+    seed: int = 10,
+) -> tuple[DiGraph, list[tuple[NetworkState, NetworkState, bool]]]:
+    """§6.4 data: pairs ``(G1, G2, is_anomalous)`` where normal transitions
+    follow the ICC model and anomalous ones activate users uniformly at
+    random, matched in activation count to the normal ones."""
+    if n_nodes is None:
+        n_nodes = 10_000 if paper_scale() else 2_000
+    if n_seeds is None:
+        n_seeds = 200 if paper_scale() else 60
+    rng = as_rng(seed)
+    # k_min=1 giant component: the deep periphery is what separates
+    # structure-driven (ICC) from random placement at small scale.
+    graph = giant_component_powerlaw(n_nodes, exponent, k_min=1, seed=seed)
+    model = IndependentCascadeModel(activation_prob=activation_prob)
+    pairs: list[tuple[NetworkState, NetworkState, bool]] = []
+    for k in range(n_pairs):
+        g1 = seed_state(graph, n_seeds, seed=rng)
+        normal = k % 2 == 0
+        if normal:
+            g2 = model.simulate(graph, g1, rounds=1, seed=rng)
+            pairs.append((g1, g2, False))
+        else:
+            # Match the anomalous activation volume to a typical ICC round.
+            probe = model.simulate(graph, g1, rounds=1, seed=rng)
+            n_new = max(1, probe.n_active - g1.n_active)
+            g2 = random_transition(graph, g1, n_new, seed=rng)
+            pairs.append((g1, g2, True))
+    return graph, pairs
+
+
+def prediction_dataset(
+    *,
+    n_nodes: int | None = None,
+    exponent: float = -2.5,
+    n_states: int = 6,
+    n_seeds: int | None = None,
+    p_nbr: float = 0.15,
+    p_ext: float = 0.02,
+    candidate_fraction: float = 0.05,
+    seed: int = 12,
+) -> tuple[DiGraph, StateSeries]:
+    """§6.3 synthetic data: γ = -2.5 scale-free network, 800 initial
+    adopters (paper scale), smooth neighbor-driven evolution."""
+    if n_nodes is None:
+        n_nodes = 10_000 if paper_scale() else 1_500
+    if n_seeds is None:
+        n_seeds = 800 if paper_scale() else 150
+    rng = as_rng(seed)
+    graph = powerlaw_configuration_graph(n_nodes, exponent, k_min=2, seed=rng)
+    series = generate_series(
+        graph,
+        n_states,
+        n_seeds=n_seeds,
+        p_nbr=p_nbr,
+        p_ext=p_ext,
+        candidate_fraction=candidate_fraction,
+        seed=rng,
+    )
+    return graph, series

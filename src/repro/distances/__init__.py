@@ -1,0 +1,37 @@
+"""Baseline distance measures the paper compares SND against (§6.1, §7).
+
+All measures share the signature ``f(state_p, state_q, context) -> float``
+via :class:`DistanceRegistry`; vector-space measures ignore the context,
+graph-aware ones (quad-form, walk-dist) read the graph/Laplacian from it.
+"""
+
+from repro.distances.quad_form import quad_form_distance
+from repro.distances.registry import DistanceContext, DistanceRegistry, default_registry
+from repro.distances.vector import (
+    canberra_distance,
+    chebyshev_distance,
+    cosine_distance,
+    hamming_distance,
+    kl_divergence,
+    l1_distance,
+    l2_distance,
+    lp_distance,
+)
+from repro.distances.walk_dist import contention_vector, walk_distance
+
+__all__ = [
+    "hamming_distance",
+    "l1_distance",
+    "l2_distance",
+    "lp_distance",
+    "cosine_distance",
+    "canberra_distance",
+    "chebyshev_distance",
+    "kl_divergence",
+    "quad_form_distance",
+    "walk_distance",
+    "contention_vector",
+    "DistanceContext",
+    "DistanceRegistry",
+    "default_registry",
+]

@@ -1,0 +1,28 @@
+"""Quadratic-Form distance over the network Laplacian (§6.1 baseline).
+
+``quad-form(P, Q, L) = sqrt((P - Q) L (P - Q)^T)`` — the opinion difference
+vector weighted by the graph structure. This is the only §6.1 baseline that
+sees the network at all, but (as §7 argues) it combines differences in a
+limited, hard-to-interpret way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.graph.laplacian import laplacian_matrix, quadratic_form
+
+__all__ = ["quad_form_distance"]
+
+
+def quad_form_distance(p, q, laplacian=None, *, graph: DiGraph | None = None) -> float:
+    """Quadratic-form distance; pass a precomputed Laplacian for speed, or a
+    graph to build it on the fly."""
+    if laplacian is None:
+        if graph is None:
+            raise ValueError("quad_form_distance needs a laplacian or a graph")
+        laplacian = laplacian_matrix(graph)
+    p_arr = np.asarray(getattr(p, "values", p), dtype=np.float64)
+    q_arr = np.asarray(getattr(q, "values", q), dtype=np.float64)
+    return float(np.sqrt(quadratic_form(laplacian, p_arr - q_arr)))

@@ -1,0 +1,104 @@
+"""A uniform interface over all distance measures.
+
+The experiment harnesses (§6) sweep the same state series through SND and
+every baseline; :class:`DistanceRegistry` gives them one calling convention
+with per-measure precomputation (Laplacian for quad-form, SND instance,
+...) held in a :class:`DistanceContext`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.distances.quad_form import quad_form_distance
+from repro.distances.vector import hamming_distance, l1_distance
+from repro.distances.walk_dist import walk_distance
+from repro.exceptions import ValidationError
+from repro.graph.digraph import DiGraph
+from repro.opinions.state import NetworkState, StateSeries
+
+__all__ = ["DistanceContext", "DistanceRegistry", "default_registry"]
+
+
+@dataclass
+class DistanceContext:
+    """Shared precomputed assets for distance evaluation over one graph."""
+
+    graph: DiGraph
+    laplacian: object = None
+    snd: object = None
+    extras: dict = field(default_factory=dict)
+
+    def ensure_laplacian(self):
+        if self.laplacian is None:
+            from repro.graph.laplacian import laplacian_matrix
+
+            self.laplacian = laplacian_matrix(self.graph)
+        return self.laplacian
+
+    def ensure_snd(self, **kwargs):
+        if self.snd is None:
+            from repro.snd import SND
+
+            self.snd = SND(self.graph, **kwargs)
+        return self.snd
+
+
+MeasureFn = Callable[[NetworkState, NetworkState, DistanceContext], float]
+
+
+class DistanceRegistry:
+    """Named distance measures with a shared ``(p, q, context)`` signature."""
+
+    def __init__(self) -> None:
+        self._measures: dict[str, MeasureFn] = {}
+
+    def register(self, name: str, fn: MeasureFn) -> None:
+        if name in self._measures:
+            raise ValidationError(f"measure {name!r} already registered")
+        self._measures[name] = fn
+
+    def names(self) -> list[str]:
+        return sorted(self._measures)
+
+    def get(self, name: str) -> MeasureFn:
+        try:
+            return self._measures[name]
+        except KeyError:
+            raise ValidationError(
+                f"unknown measure {name!r}; available: {self.names()}"
+            ) from None
+
+    def compute(
+        self, name: str, p: NetworkState, q: NetworkState, context: DistanceContext
+    ) -> float:
+        return self.get(name)(p, q, context)
+
+    def series(
+        self, name: str, series: StateSeries, context: DistanceContext
+    ) -> np.ndarray:
+        """Adjacent-state distances ``d_t = f(G_{t-1}, G_t)``."""
+        fn = self.get(name)
+        return np.array(
+            [fn(a, b, context) for a, b in series.transitions()], dtype=np.float64
+        )
+
+
+def default_registry() -> DistanceRegistry:
+    """Registry with the paper's §6.1 line-up: snd, hamming, walk-dist,
+    quad-form (plus l1 used in §6.4)."""
+    registry = DistanceRegistry()
+    registry.register("snd", lambda p, q, ctx: ctx.ensure_snd().distance(p, q))
+    registry.register("hamming", lambda p, q, ctx: hamming_distance(p, q))
+    registry.register("l1", lambda p, q, ctx: l1_distance(p, q))
+    registry.register(
+        "quad-form",
+        lambda p, q, ctx: quad_form_distance(p, q, ctx.ensure_laplacian()),
+    )
+    registry.register(
+        "walk-dist", lambda p, q, ctx: walk_distance(ctx.graph, p, q)
+    )
+    return registry

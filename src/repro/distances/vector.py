@@ -1,0 +1,103 @@
+"""Coordinate-wise vector distances over network states (§7 baselines).
+
+These treat a state purely as a vector in R^n — they cannot see the network
+structure, which is exactly the deficiency §6 demonstrates. Each accepts
+:class:`~repro.opinions.state.NetworkState` or a plain array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "hamming_distance",
+    "l1_distance",
+    "l2_distance",
+    "lp_distance",
+    "cosine_distance",
+    "canberra_distance",
+    "chebyshev_distance",
+    "kl_divergence",
+]
+
+
+def _as_vectors(p, q) -> tuple[np.ndarray, np.ndarray]:
+    p_arr = np.asarray(getattr(p, "values", p), dtype=np.float64)
+    q_arr = np.asarray(getattr(q, "values", q), dtype=np.float64)
+    if p_arr.shape != q_arr.shape or p_arr.ndim != 1:
+        raise ValidationError(
+            f"states must be 1-D with equal length, got {p_arr.shape} and {q_arr.shape}"
+        )
+    return p_arr, q_arr
+
+
+def hamming_distance(p, q) -> float:
+    """Number of users whose opinion differs (the ``hamming`` baseline)."""
+    p_arr, q_arr = _as_vectors(p, q)
+    return float(np.count_nonzero(p_arr != q_arr))
+
+
+def l1_distance(p, q) -> float:
+    """``||P - Q||_1`` (the §6.4 coordinate-wise representative)."""
+    p_arr, q_arr = _as_vectors(p, q)
+    return float(np.abs(p_arr - q_arr).sum())
+
+
+def l2_distance(p, q) -> float:
+    """Euclidean distance ``||P - Q||_2``."""
+    p_arr, q_arr = _as_vectors(p, q)
+    return float(np.sqrt(((p_arr - q_arr) ** 2).sum()))
+
+
+def lp_distance(p, q, *, order: float = 2.0) -> float:
+    """Minkowski distance of the given *order* (>= 1)."""
+    if order < 1:
+        raise ValidationError(f"order must be >= 1, got {order}")
+    p_arr, q_arr = _as_vectors(p, q)
+    return float(np.abs(p_arr - q_arr).__pow__(order).sum() ** (1.0 / order))
+
+
+def cosine_distance(p, q) -> float:
+    """``1 - cos(P, Q)``; zero vectors are at distance 1 from anything
+    non-zero and 0 from each other (the continuous-limit convention)."""
+    p_arr, q_arr = _as_vectors(p, q)
+    np_norm = float(np.linalg.norm(p_arr))
+    nq_norm = float(np.linalg.norm(q_arr))
+    if np_norm == 0.0 and nq_norm == 0.0:
+        return 0.0
+    if np_norm == 0.0 or nq_norm == 0.0:
+        return 1.0
+    return float(1.0 - (p_arr @ q_arr) / (np_norm * nq_norm))
+
+
+def canberra_distance(p, q) -> float:
+    """Canberra distance; terms with ``|p| + |q| = 0`` contribute 0."""
+    p_arr, q_arr = _as_vectors(p, q)
+    denom = np.abs(p_arr) + np.abs(q_arr)
+    mask = denom > 0
+    return float((np.abs(p_arr - q_arr)[mask] / denom[mask]).sum())
+
+
+def chebyshev_distance(p, q) -> float:
+    """``max_i |P_i - Q_i|``."""
+    p_arr, q_arr = _as_vectors(p, q)
+    return float(np.abs(p_arr - q_arr).max()) if p_arr.size else 0.0
+
+
+def kl_divergence(p, q, *, epsilon: float = 1e-12) -> float:
+    """Symmetrised KL divergence between the states viewed as opinion-count
+    distributions over {+, 0, -} mass (ε-smoothed).
+
+    Raw ±1 vectors are not distributions, so both are shifted to {0, 1, 2}
+    and normalised — the standard trick for applying KL to polar data.
+    """
+    p_arr, q_arr = _as_vectors(p, q)
+    p_shift = p_arr + 1.0 + epsilon
+    q_shift = q_arr + 1.0 + epsilon
+    p_dist = p_shift / p_shift.sum()
+    q_dist = q_shift / q_shift.sum()
+    forward = float((p_dist * np.log(p_dist / q_dist)).sum())
+    backward = float((q_dist * np.log(q_dist / p_dist)).sum())
+    return 0.5 * (forward + backward)

@@ -1,0 +1,50 @@
+"""walk-dist: the contention-based baseline of §6.1.
+
+``cnt(P)_i`` measures how far user i's opinion deviates from the opinion of
+her *average active in-neighbor*; ``walk-dist(P, Q) = ||cnt(P) - cnt(Q)||_1 / n``
+summarises how differently the network's users sit relative to their
+neighborhoods in the two states. Users without active in-neighbors have
+contention 0 (nothing to deviate from).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+
+__all__ = ["contention_vector", "walk_distance"]
+
+
+def contention_vector(graph: DiGraph, state) -> np.ndarray:
+    """``cnt(P)_i = |P_i - mean of active in-neighbor opinions|``."""
+    values = np.asarray(getattr(state, "values", state), dtype=np.float64)
+    sources = np.repeat(
+        np.arange(graph.num_nodes, dtype=np.int64), np.diff(graph.indptr)
+    )
+    targets = graph.indices
+    src_vals = values[sources]
+    active = src_vals != 0
+
+    opinion_sum = np.zeros(graph.num_nodes)
+    active_count = np.zeros(graph.num_nodes)
+    np.add.at(opinion_sum, targets[active], src_vals[active])
+    np.add.at(active_count, targets[active], 1.0)
+
+    mean_neighbor = np.divide(
+        opinion_sum,
+        active_count,
+        out=np.zeros_like(opinion_sum),
+        where=active_count > 0,
+    )
+    contention = np.abs(values - mean_neighbor)
+    contention[active_count == 0] = 0.0
+    return contention
+
+
+def walk_distance(graph: DiGraph, p, q) -> float:
+    """``||cnt(P) - cnt(Q)||_1 / n``."""
+    cp = contention_vector(graph, p)
+    cq = contention_vector(graph, q)
+    n = max(graph.num_nodes, 1)
+    return float(np.abs(cp - cq).sum() / n)

@@ -1,0 +1,94 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library errors derive from :class:`ReproError` so that callers can catch
+library failures without accidentally swallowing programming errors. Each
+subsystem raises the most specific subclass that applies.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "NodeError",
+    "EdgeError",
+    "StateError",
+    "ModelError",
+    "FlowError",
+    "InfeasibleFlowError",
+    "UnboundedFlowError",
+    "HistogramError",
+    "GroundDistanceError",
+    "QuantizationError",
+    "ClusteringError",
+    "PredictionError",
+    "StoreError",
+    "ValidationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (bad shape, dtype, domain, ...)."""
+
+
+class GraphError(ReproError):
+    """Malformed graph structure or an unsupported graph operation."""
+
+
+class NodeError(GraphError, KeyError):
+    """A node index is out of range or otherwise invalid."""
+
+
+class EdgeError(GraphError):
+    """An edge specification is invalid (self-loop where forbidden, ...)."""
+
+
+class StateError(ReproError):
+    """A network state is malformed (wrong length, values outside {-1,0,1})."""
+
+
+class ModelError(ReproError):
+    """An opinion-dynamics model received inconsistent parameters."""
+
+
+class FlowError(ReproError):
+    """Base class for min-cost-flow / transportation solver failures."""
+
+
+class InfeasibleFlowError(FlowError):
+    """The flow/transportation instance admits no feasible solution."""
+
+
+class UnboundedFlowError(FlowError):
+    """The flow/transportation instance is unbounded (should not happen for
+    well-formed transportation problems with non-negative costs)."""
+
+
+class HistogramError(ReproError):
+    """A histogram passed to an EMD variant is malformed."""
+
+
+class GroundDistanceError(ReproError):
+    """A ground-distance matrix violates a required property (negativity,
+    non-zero diagonal, asymmetry where symmetry is required, ...)."""
+
+
+class QuantizationError(ReproError):
+    """Costs could not be quantized to positive integers bounded by ``U``
+    (Assumption 2 of the paper)."""
+
+
+class ClusteringError(ReproError):
+    """A bin clustering is invalid (not a partition of the node set)."""
+
+
+class PredictionError(ReproError):
+    """The opinion-prediction pipeline received an unusable input series."""
+
+
+class StoreError(ReproError):
+    """The SQLite experiment store failed to read or write."""

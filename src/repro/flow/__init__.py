@@ -1,0 +1,56 @@
+"""Min-cost flow and transportation solvers.
+
+The EMD family reduces to transportation problems; the fast SND pipeline
+reduces to a sparse min-cost-flow instance. Four interchangeable exact
+solvers are provided:
+
+* :func:`solve_mcf_ssp` — successive shortest paths with potentials
+  (default; exact for real-valued supplies/costs);
+* :func:`solve_mcf_cost_scaling` — Goldberg–Tarjan cost-scaling
+  push-relabel (integer costs; the paper's CS2 role);
+* :func:`solve_transportation_simplex` — dense MODI transportation simplex;
+* :func:`solve_transportation_lp` — :func:`scipy.optimize.linprog` reference
+  (the paper's CPLEX role in Fig. 11).
+
+All agree to numerical tolerance; cross-solver agreement is property-tested.
+"""
+
+from repro.flow.cost_scaling import solve_mcf_cost_scaling
+from repro.flow.lp_reference import solve_transportation_lp
+from repro.flow.problem import MinCostFlowProblem, TransportationProblem
+from repro.flow.sinkhorn import solve_transportation_sinkhorn
+from repro.flow.ssp import solve_mcf_ssp, solve_transportation_ssp
+from repro.flow.transport_simplex import solve_transportation_simplex
+
+__all__ = [
+    "TransportationProblem",
+    "MinCostFlowProblem",
+    "solve_mcf_ssp",
+    "solve_transportation_ssp",
+    "solve_mcf_cost_scaling",
+    "solve_transportation_simplex",
+    "solve_transportation_lp",
+    "solve_transportation_sinkhorn",
+    "solve_transportation",
+]
+
+_TRANSPORT_SOLVERS = {
+    "ssp": solve_transportation_ssp,
+    "simplex": solve_transportation_simplex,
+    "lp": solve_transportation_lp,
+}
+
+
+def solve_transportation(problem: TransportationProblem, *, method: str = "ssp"):
+    """Solve a (possibly unbalanced) transportation problem.
+
+    ``method`` is one of ``"ssp"`` (default), ``"simplex"``, ``"lp"``.
+    Returns a :class:`~repro.flow.plan.TransportPlan`.
+    """
+    try:
+        solver = _TRANSPORT_SOLVERS[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown method {method!r}; expected one of {sorted(_TRANSPORT_SOLVERS)}"
+        ) from None
+    return solver(problem)

@@ -1,0 +1,62 @@
+"""Transportation problem via a general-purpose LP solver (scipy HiGHS).
+
+This plays the role CPLEX plays in the paper's Fig. 11: an exact,
+general-purpose solve of the *unreduced* transportation problem, against
+which the linear-time reduced method of Theorem 4 is compared.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import FlowError
+from repro.flow.plan import TransportPlan
+from repro.flow.problem import TransportationProblem
+
+__all__ = ["solve_transportation_lp"]
+
+
+def solve_transportation_lp(problem: TransportationProblem) -> TransportPlan:
+    """Solve with :func:`scipy.optimize.linprog` (HiGHS backend).
+
+    Variables are the ``n*m`` flows; constraints are
+    ``row sums <= supplies``, ``col sums <= demands``, and
+    ``total flow == min(total supply, total demand)`` — the exact original
+    EMD constraint set.
+    """
+    from scipy.optimize import linprog
+    from scipy.sparse import csr_matrix, vstack
+
+    n, m = problem.n_suppliers, problem.n_consumers
+    if n == 0 or m == 0 or problem.moved_mass <= 0.0:
+        return TransportPlan(flows=np.zeros((n, m)), cost=0.0)
+
+    c = problem.costs.reshape(-1)
+
+    # Row-sum constraints: A_rows @ f <= supplies.
+    row_idx = np.repeat(np.arange(n), m)
+    col_idx = np.arange(n * m)
+    a_rows = csr_matrix((np.ones(n * m), (row_idx, col_idx)), shape=(n, n * m))
+    # Column-sum constraints: A_cols @ f <= demands.
+    crow_idx = np.tile(np.arange(m), n)
+    a_cols = csr_matrix((np.ones(n * m), (crow_idx, col_idx)), shape=(m, n * m))
+
+    a_ub = vstack([a_rows, a_cols], format="csr")
+    b_ub = np.concatenate([problem.supplies, problem.demands])
+    a_eq = csr_matrix(np.ones((1, n * m)))
+    b_eq = np.array([problem.moved_mass])
+
+    result = linprog(
+        c,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=(0, None),
+        method="highs",
+    )
+    if not result.success:
+        raise FlowError(f"LP solver failed: {result.message}")
+    flows = np.maximum(result.x.reshape(n, m), 0.0)
+    cost = float((flows * problem.costs).sum())
+    return TransportPlan(flows=flows, cost=cost)

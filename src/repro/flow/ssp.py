@@ -1,0 +1,216 @@
+"""Successive-shortest-paths min-cost flow with node potentials.
+
+This is the library's default exact solver. It handles real-valued supplies,
+capacities and costs (costs must be non-negative, which holds for every
+ground distance in this library; a Bellman–Ford bootstrap covers negative
+costs for completeness). Each augmentation saturates at least one arc or
+node, and for transportation-shaped instances the number of augmentations is
+bounded by ``n_suppliers + n_consumers``, which is what makes it fast on the
+reduced problems produced by the SND pipeline (Theorem 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InfeasibleFlowError
+from repro.flow.plan import TransportPlan
+from repro.flow.problem import FlowSolution, MinCostFlowProblem, TransportationProblem
+from repro.heaps.binary_heap import IndexedBinaryHeap
+
+__all__ = ["solve_mcf_ssp", "solve_transportation_ssp"]
+
+_EPS = 1e-12
+
+
+def solve_mcf_ssp(problem: MinCostFlowProblem) -> FlowSolution:
+    """Solve a balanced min-cost-flow problem exactly.
+
+    Raises :class:`InfeasibleFlowError` when the required flow cannot be
+    routed (disconnected demand).
+    """
+    problem.validate_balance()
+    tails, heads, caps, costs = problem.arrays()
+    n = problem.n_nodes
+    m = len(tails)
+
+    # Internal super source / sink realise the node imbalances as arcs.
+    source = n
+    sink = n + 1
+    n_total = n + 2
+
+    sup_nodes = np.flatnonzero(problem.supply > _EPS)
+    dem_nodes = np.flatnonzero(problem.supply < -_EPS)
+    total_required = float(problem.supply[sup_nodes].sum())
+
+    all_tails = np.concatenate(
+        [tails, np.full(len(sup_nodes), source), dem_nodes]
+    ).astype(np.int64)
+    all_heads = np.concatenate(
+        [heads, sup_nodes, np.full(len(dem_nodes), sink)]
+    ).astype(np.int64)
+    all_caps = np.concatenate(
+        [caps, problem.supply[sup_nodes], -problem.supply[dem_nodes]]
+    ).astype(np.float64)
+    all_costs = np.concatenate(
+        [costs, np.zeros(len(sup_nodes)), np.zeros(len(dem_nodes))]
+    ).astype(np.float64)
+    m_total = len(all_tails)
+
+    # Residual arcs: arc 2e forward, 2e+1 backward.
+    arc_head = np.empty(2 * m_total, dtype=np.int64)
+    arc_cost = np.empty(2 * m_total, dtype=np.float64)
+    arc_res = np.empty(2 * m_total, dtype=np.float64)
+    arc_head[0::2] = all_heads
+    arc_head[1::2] = all_tails
+    arc_cost[0::2] = all_costs
+    arc_cost[1::2] = -all_costs
+    arc_res[0::2] = all_caps
+    arc_res[1::2] = 0.0
+
+    # CSR adjacency over residual arcs (by tail).
+    arc_tail = np.empty(2 * m_total, dtype=np.int64)
+    arc_tail[0::2] = all_tails
+    arc_tail[1::2] = all_heads
+    order = np.argsort(arc_tail, kind="stable")
+    adj_arcs = order
+    adj_ptr = np.zeros(n_total + 1, dtype=np.int64)
+    np.add.at(adj_ptr, arc_tail + 1, 1)
+    np.cumsum(adj_ptr, out=adj_ptr)
+
+    potential = np.zeros(n_total, dtype=np.float64)
+    if m_total and float(all_costs.min()) < 0.0:
+        potential = _bellman_ford_potentials(
+            n_total, source, arc_tail, arc_head, arc_cost, arc_res
+        )
+
+    flow_sent = 0.0
+    iterations = 0
+    dist = np.empty(n_total, dtype=np.float64)
+    pred_arc = np.empty(n_total, dtype=np.int64)
+
+    while flow_sent < total_required - _EPS * max(1.0, total_required):
+        # Dijkstra on reduced costs from the super source.
+        dist.fill(np.inf)
+        pred_arc.fill(-1)
+        dist[source] = 0.0
+        heap = IndexedBinaryHeap(n_total)
+        heap.push(source, 0.0)
+        settled = np.zeros(n_total, dtype=bool)
+        while len(heap):
+            u, du = heap.pop()
+            if settled[u]:
+                continue
+            settled[u] = True
+            if u == sink:
+                break
+            for idx in range(adj_ptr[u], adj_ptr[u + 1]):
+                a = adj_arcs[idx]
+                if arc_res[a] <= _EPS:
+                    continue
+                v = arc_head[a]
+                if settled[v]:
+                    continue
+                reduced = arc_cost[a] + potential[u] - potential[v]
+                # Reduced costs are >= 0 up to float dust; clamp the dust.
+                if reduced < 0.0:
+                    reduced = 0.0
+                alt = du + reduced
+                if alt < dist[v] - _EPS:
+                    dist[v] = alt
+                    pred_arc[v] = a
+                    heap.push(int(v), alt)
+
+        if not np.isfinite(dist[sink]):
+            raise InfeasibleFlowError(
+                f"cannot route required flow: {total_required - flow_sent} "
+                f"units remain with the sink unreachable"
+            )
+
+        # Update potentials. With early termination, settled nodes have exact
+        # distances and unsettled/unreached ones are capped at dist[sink],
+        # which preserves non-negative reduced costs (standard SSP technique).
+        potential += np.minimum(dist, dist[sink])
+
+        # Find bottleneck along the source->sink path.
+        bottleneck = np.inf
+        v = sink
+        while v != source:
+            a = pred_arc[v]
+            bottleneck = min(bottleneck, arc_res[a])
+            v = int(arc_tail[a])
+        # Augment.
+        v = sink
+        while v != source:
+            a = pred_arc[v]
+            arc_res[a] -= bottleneck
+            arc_res[a ^ 1] += bottleneck
+            v = int(arc_tail[a])
+        flow_sent += bottleneck
+        iterations += 1
+
+    # Per-original-arc flow = residual of the backward arc.
+    flows = arc_res[1 : 2 * m : 2].copy() if m else np.empty(0)
+    cost = float((flows * costs).sum()) if m else 0.0
+    return FlowSolution(flows=flows, cost=cost, iterations=iterations)
+
+
+def _bellman_ford_potentials(
+    n_total: int,
+    source: int,
+    arc_tail: np.ndarray,
+    arc_head: np.ndarray,
+    arc_cost: np.ndarray,
+    arc_res: np.ndarray,
+) -> np.ndarray:
+    """Initial potentials when some arc costs are negative."""
+    dist = np.full(n_total, 0.0)  # all nodes as roots: handles disconnection
+    for _ in range(n_total):
+        changed = False
+        active = arc_res > _EPS
+        for a in np.flatnonzero(active):
+            u, v = arc_tail[a], arc_head[a]
+            alt = dist[u] + arc_cost[a]
+            if alt < dist[v] - _EPS:
+                dist[v] = alt
+                changed = True
+        if not changed:
+            break
+    return dist
+
+
+def solve_transportation_ssp(problem: TransportationProblem) -> TransportPlan:
+    """Solve a (possibly unbalanced) dense transportation problem via SSP."""
+    balanced, dummy_consumer, dummy_supplier = problem.balanced_form()
+    n, m = balanced.n_suppliers, balanced.n_consumers
+
+    mcf = MinCostFlowProblem(n + m)
+    inf_cap = balanced.total_supply + 1.0
+    for i in range(n):
+        if balanced.supplies[i] > _EPS:
+            mcf.set_supply(i, balanced.supplies[i])
+    for j in range(m):
+        if balanced.demands[j] > _EPS:
+            mcf.set_supply(n + j, -balanced.demands[j])
+    edge_index: list[tuple[int, int]] = []
+    for i in range(n):
+        if balanced.supplies[i] <= _EPS:
+            continue
+        for j in range(m):
+            if balanced.demands[j] <= _EPS:
+                continue
+            mcf.add_edge(i, n + j, inf_cap, balanced.costs[i, j])
+            edge_index.append((i, j))
+
+    solution = solve_mcf_ssp(mcf)
+    flows = np.zeros((n, m))
+    for eid, (i, j) in enumerate(edge_index):
+        flows[i, j] = solution.flows[eid]
+
+    # Strip dummy row/column added for balancing.
+    if dummy_consumer:
+        flows = flows[:, :-1]
+    if dummy_supplier:
+        flows = flows[:-1, :]
+    cost = float((flows * problem.costs).sum())
+    return TransportPlan(flows=flows, cost=cost)

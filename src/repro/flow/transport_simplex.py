@@ -1,0 +1,251 @@
+"""Dense transportation simplex (MODI / u-v method).
+
+The classic special-purpose solver Rubner et al. used for the original EMD.
+Included both as an independent exact solver for cross-validation and as the
+"transportation simplex" baseline the paper mentions in §5 (super-cubic in
+n, hence unusable at network scale — which is the point of Theorem 4).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.exceptions import FlowError
+from repro.flow.plan import TransportPlan
+from repro.flow.problem import TransportationProblem
+
+__all__ = ["solve_transportation_simplex"]
+
+_TOL = 1e-9
+
+
+def solve_transportation_simplex(
+    problem: TransportationProblem, *, max_iterations: int | None = None
+) -> TransportPlan:
+    """Solve a (possibly unbalanced) transportation problem with MODI.
+
+    The problem is balanced with a zero-cost dummy node first; the initial
+    basis comes from the northwest-corner rule; pivoting uses Dantzig's rule
+    with a Bland fallback after an iteration budget, which guards against
+    degenerate cycling.
+    """
+    balanced, dummy_consumer, dummy_supplier = problem.balanced_form()
+    supplies = balanced.supplies
+    demands = balanced.demands
+    costs = balanced.costs
+    n, m = balanced.n_suppliers, balanced.n_consumers
+
+    if n == 0 or m == 0 or balanced.total_supply <= _TOL:
+        flows = np.zeros((problem.n_suppliers, problem.n_consumers))
+        return TransportPlan(flows=flows, cost=0.0)
+
+    flows, basis = _northwest_corner(supplies, demands)
+    if max_iterations is None:
+        max_iterations = 50 * (n + m) * max(n, m)
+
+    bland_mode = False
+    for iteration in range(max_iterations):
+        u, v = _compute_duals(costs, basis, n, m)
+        reduced = costs - u[:, None] - v[None, :]
+        reduced[tuple(zip(*basis))] = 0.0 if basis else 0.0
+
+        entering = _select_entering(reduced, basis, bland=bland_mode)
+        if entering is None:
+            break
+        cycle = _find_cycle(basis, entering, n, m)
+        # Odd positions of the cycle (1st, 3rd, ...) are "minus" cells.
+        minus_cells = cycle[1::2]
+        theta = min(flows[i, j] for i, j in minus_cells)
+        leaving = min(
+            (cell for cell in minus_cells if flows[cell] <= theta + _TOL),
+            key=lambda c: (flows[c], c),
+        )
+        for k, (i, j) in enumerate(cycle):
+            if k % 2 == 0:
+                flows[i, j] += theta
+            else:
+                flows[i, j] -= theta
+        flows[leaving] = 0.0
+        basis.remove(leaving)
+        basis.add(entering)
+        if iteration > max_iterations // 2:
+            bland_mode = True
+    else:
+        raise FlowError("transportation simplex failed to converge")
+
+    if dummy_consumer:
+        flows = flows[:, :-1]
+    if dummy_supplier:
+        flows = flows[:-1, :]
+    flows = np.maximum(flows, 0.0)  # clamp float dust from pivoting
+    cost = float((flows * problem.costs).sum())
+    return TransportPlan(flows=flows, cost=cost)
+
+
+def _northwest_corner(
+    supplies: np.ndarray, demands: np.ndarray
+) -> tuple[np.ndarray, set[tuple[int, int]]]:
+    """Initial basic feasible solution with exactly n + m - 1 basic cells."""
+    n, m = len(supplies), len(demands)
+    flows = np.zeros((n, m))
+    basis: set[tuple[int, int]] = set()
+    remaining_supply = supplies.astype(np.float64).copy()
+    remaining_demand = demands.astype(np.float64).copy()
+    i = j = 0
+    while i < n and j < m:
+        moved = min(remaining_supply[i], remaining_demand[j])
+        flows[i, j] = moved
+        basis.add((i, j))
+        remaining_supply[i] -= moved
+        remaining_demand[j] -= moved
+        # Advance along the dimension that was exhausted; when both are
+        # exhausted simultaneously, advance only one (keeps the basis a tree
+        # with a degenerate zero cell).
+        if remaining_supply[i] <= _TOL and i < n - 1:
+            i += 1
+        elif remaining_demand[j] <= _TOL and j < m - 1:
+            j += 1
+        elif remaining_supply[i] <= _TOL and remaining_demand[j] <= _TOL:
+            break
+        elif remaining_supply[i] <= _TOL:
+            i += 1
+        else:
+            j += 1
+    # Pad degenerate bases up to the spanning-tree size.
+    _repair_basis(basis, n, m)
+    return flows, basis
+
+
+def _repair_basis(basis: set[tuple[int, int]], n: int, m: int) -> None:
+    """Ensure the basis forms a spanning tree (n + m - 1 connected cells)."""
+    # Union-find over supplier nodes 0..n-1 and consumer nodes n..n+m-1.
+    parent = list(range(n + m))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: int, b: int) -> bool:
+        ra, rb = find(a), find(b)
+        if ra == rb:
+            return False
+        parent[ra] = rb
+        return True
+
+    for (i, j) in basis:
+        union(i, n + j)
+    for i in range(n):
+        for j in range(m):
+            if len(basis) >= n + m - 1:
+                return
+            if (i, j) not in basis and union(i, n + j):
+                basis.add((i, j))
+
+
+def _compute_duals(
+    costs: np.ndarray, basis: set[tuple[int, int]], n: int, m: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Solve ``u_i + v_j = c_ij`` over the basis tree (u_0 anchored at 0)."""
+    u = np.full(n, np.nan)
+    v = np.full(m, np.nan)
+    by_supplier: list[list[int]] = [[] for _ in range(n)]
+    by_consumer: list[list[int]] = [[] for _ in range(m)]
+    for (i, j) in basis:
+        by_supplier[i].append(j)
+        by_consumer[j].append(i)
+
+    u[0] = 0.0
+    queue: deque[tuple[str, int]] = deque([("s", 0)])
+    while queue:
+        kind, idx = queue.popleft()
+        if kind == "s":
+            for j in by_supplier[idx]:
+                if np.isnan(v[j]):
+                    v[j] = costs[idx, j] - u[idx]
+                    queue.append(("c", j))
+        else:
+            for i in by_consumer[idx]:
+                if np.isnan(u[i]):
+                    u[i] = costs[i, idx] - v[idx]
+                    queue.append(("s", i))
+    # A valid basis tree reaches every node; guard against corruption.
+    if np.isnan(u).any() or np.isnan(v).any():
+        raise FlowError("basis does not span all suppliers/consumers")
+    return u, v
+
+
+def _select_entering(
+    reduced: np.ndarray, basis: set[tuple[int, int]], *, bland: bool
+) -> tuple[int, int] | None:
+    """Most-negative (Dantzig) or first-negative (Bland) non-basic cell."""
+    if bland:
+        rows, cols = np.nonzero(reduced < -_TOL)
+        for i, j in zip(rows, cols):
+            if (int(i), int(j)) not in basis:
+                return int(i), int(j)
+        return None
+    flat = int(np.argmin(reduced))
+    i, j = divmod(flat, reduced.shape[1])
+    if reduced[i, j] >= -_TOL:
+        return None
+    return i, j
+
+
+def _find_cycle(
+    basis: set[tuple[int, int]], entering: tuple[int, int], n: int, m: int
+) -> list[tuple[int, int]]:
+    """Unique alternating cycle created by adding *entering* to the basis.
+
+    Returns the cycle as a cell list starting with *entering*; even positions
+    receive +theta, odd positions -theta.
+    """
+    i0, j0 = entering
+    by_supplier: list[list[int]] = [[] for _ in range(n)]
+    by_consumer: list[list[int]] = [[] for _ in range(m)]
+    for (i, j) in basis:
+        by_supplier[i].append(j)
+        by_consumer[j].append(i)
+
+    # BFS from consumer j0 back to supplier i0 over basic cells, alternating
+    # consumer -> supplier -> consumer ... steps.
+    parent: dict[tuple[str, int], tuple[str, int] | None] = {("c", j0): None}
+    queue: deque[tuple[str, int]] = deque([("c", j0)])
+    found = False
+    while queue and not found:
+        kind, idx = queue.popleft()
+        if kind == "c":
+            for i in by_consumer[idx]:
+                node = ("s", i)
+                if node not in parent:
+                    parent[node] = (kind, idx)
+                    if i == i0:
+                        found = True
+                        break
+                    queue.append(node)
+        else:
+            for j in by_supplier[idx]:
+                node = ("c", j)
+                if node not in parent:
+                    parent[node] = (kind, idx)
+                    queue.append(node)
+    if not found:
+        raise FlowError("entering cell creates no cycle; basis is not a tree")
+
+    # Reconstruct node path supplier i0 -> ... -> consumer j0, then pair up
+    # consecutive nodes into cells, prepending the entering cell.
+    path_nodes: list[tuple[str, int]] = []
+    node: tuple[str, int] | None = ("s", i0)
+    while node is not None:
+        path_nodes.append(node)
+        node = parent[node]
+    cycle = [entering]
+    for a, b in zip(path_nodes, path_nodes[1:]):
+        if a[0] == "s":
+            cycle.append((a[1], b[1]))
+        else:
+            cycle.append((b[1], a[1]))
+    return cycle

@@ -1,0 +1,55 @@
+"""Graph substrate: CSR digraphs, generators, clustering, traversal, I/O."""
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    planted_partition_graph,
+    powerlaw_configuration_graph,
+    star_graph,
+    two_cluster_graph,
+    watts_strogatz_graph,
+)
+from repro.graph.clustering import (
+    balanced_bfs_partition,
+    greedy_modularity_communities,
+    label_propagation_communities,
+    modularity,
+    partition_from_labels,
+)
+from repro.graph.laplacian import laplacian_matrix
+from repro.graph.metrics import (
+    clustering_coefficient,
+    degree_assortativity,
+    degree_statistics,
+    powerlaw_alpha_mle,
+)
+from repro.graph.traversal import (
+    bfs_distances,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+
+__all__ = [
+    "DiGraph",
+    "erdos_renyi_graph",
+    "barabasi_albert_graph",
+    "powerlaw_configuration_graph",
+    "watts_strogatz_graph",
+    "planted_partition_graph",
+    "two_cluster_graph",
+    "star_graph",
+    "label_propagation_communities",
+    "greedy_modularity_communities",
+    "balanced_bfs_partition",
+    "partition_from_labels",
+    "modularity",
+    "laplacian_matrix",
+    "degree_statistics",
+    "powerlaw_alpha_mle",
+    "clustering_coefficient",
+    "degree_assortativity",
+    "bfs_distances",
+    "weakly_connected_components",
+    "strongly_connected_components",
+]

@@ -1,0 +1,258 @@
+"""Random-graph generators used by the paper's experiments.
+
+The evaluation (§6.1) uses synthetic scale-free networks with exponents
+between −2.9 and −2.1 and sizes 10k–200k; Fig. 5 uses a two-cluster graph
+joined by a few bridge edges. All generators here are implemented from
+scratch on numpy and return :class:`~repro.graph.digraph.DiGraph`.
+
+Directedness convention: an edge ``u -> v`` means "u can influence v"
+(in Twitter terms, v follows u). Generators produce either symmetric
+(undirected-as-bidirected) or genuinely directed graphs, per their flag.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.graph.digraph import DiGraph
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_in_range, check_positive_int
+
+__all__ = [
+    "erdos_renyi_graph",
+    "barabasi_albert_graph",
+    "powerlaw_configuration_graph",
+    "watts_strogatz_graph",
+    "planted_partition_graph",
+    "two_cluster_graph",
+    "star_graph",
+    "powerlaw_degree_sequence",
+]
+
+
+def erdos_renyi_graph(n: int, p: float, *, directed: bool = False, seed=None) -> DiGraph:
+    """G(n, p) random graph.
+
+    Sampling is done per-source with a geometric skip trick, so the cost is
+    proportional to the number of edges rather than ``n**2``.
+    """
+    check_positive_int(n, "n")
+    check_in_range(p, 0.0, 1.0, "p")
+    rng = as_rng(seed)
+    edges: list[tuple[int, int]] = []
+    if p > 0.0:
+        log_1p = np.log1p(-p) if p < 1.0 else -np.inf
+        for u in range(n):
+            v = -1
+            while True:
+                if p < 1.0:
+                    r = rng.random()
+                    skip = int(np.floor(np.log1p(-r) / log_1p))
+                    v += 1 + skip
+                else:
+                    v += 1
+                if v >= n:
+                    break
+                if v != u:
+                    edges.append((u, v))
+    if directed:
+        return DiGraph(n, edges)
+    # Keep each unordered pair once (u < v), then mirror.
+    undirected = [(u, v) for (u, v) in edges if u < v]
+    return DiGraph.from_undirected_edges(n, undirected)
+
+
+def barabasi_albert_graph(n: int, m: int, *, directed: bool = False, seed=None) -> DiGraph:
+    """Barabási–Albert preferential attachment graph.
+
+    Each new node attaches to ``m`` existing nodes chosen proportionally to
+    degree (implemented with the repeated-nodes urn, which realises exact
+    preferential attachment without per-step renormalisation).
+    """
+    check_positive_int(n, "n")
+    check_positive_int(m, "m")
+    if m >= n:
+        raise ValidationError(f"m ({m}) must be smaller than n ({n})")
+    rng = as_rng(seed)
+    repeated: list[int] = list(range(m))  # seed clique targets
+    edges: list[tuple[int, int]] = []
+    for new_node in range(m, n):
+        targets: set[int] = set()
+        while len(targets) < m:
+            if repeated and rng.random() > 1.0 / (len(repeated) + 1):
+                cand = repeated[int(rng.integers(len(repeated)))]
+            else:
+                cand = int(rng.integers(new_node))
+            if cand != new_node:
+                targets.add(cand)
+        for t in targets:
+            edges.append((new_node, t))
+            repeated.append(t)
+            repeated.append(new_node)
+    if directed:
+        # New node follows old node: influence flows old -> new.
+        return DiGraph(n, [(t, s) for (s, t) in edges])
+    return DiGraph.from_undirected_edges(n, edges)
+
+
+def powerlaw_degree_sequence(
+    n: int, exponent: float, *, k_min: int = 1, k_max: int | None = None, seed=None
+) -> np.ndarray:
+    """Sample a degree sequence with ``P(k) ~ k**exponent`` (exponent < 0).
+
+    The sum is forced even (required by the configuration model) by
+    incrementing one entry when necessary.
+    """
+    check_positive_int(n, "n")
+    if exponent >= 0:
+        raise ValidationError(f"exponent must be negative, got {exponent}")
+    rng = as_rng(seed)
+    if k_max is None:
+        k_max = max(k_min + 1, int(np.sqrt(n)))
+    ks = np.arange(k_min, k_max + 1, dtype=np.float64)
+    probs = ks**exponent
+    probs /= probs.sum()
+    degrees = rng.choice(np.arange(k_min, k_max + 1), size=n, p=probs).astype(np.int64)
+    if degrees.sum() % 2 == 1:
+        degrees[int(rng.integers(n))] += 1
+    return degrees
+
+
+def powerlaw_configuration_graph(
+    n: int,
+    exponent: float = -2.3,
+    *,
+    k_min: int = 1,
+    k_max: int | None = None,
+    directed: bool = False,
+    seed=None,
+) -> DiGraph:
+    """Scale-free graph via the configuration model (the paper's §6.1 setup).
+
+    Stubs are shuffled and paired; self-loops and parallel edges from the
+    pairing are discarded (the standard "erased" configuration model), which
+    perturbs the degree sequence negligibly for the exponents used here
+    (−2.9 … −2.1).
+    """
+    rng = as_rng(seed)
+    degrees = powerlaw_degree_sequence(n, exponent, k_min=k_min, k_max=k_max, seed=rng)
+    stubs = np.repeat(np.arange(n, dtype=np.int64), degrees)
+    rng.shuffle(stubs)
+    if len(stubs) % 2 == 1:  # defensive; powerlaw_degree_sequence guarantees even
+        stubs = stubs[:-1]
+    pairs = stubs.reshape(-1, 2)
+    keep = pairs[:, 0] != pairs[:, 1]
+    pairs = pairs[keep]
+    if directed:
+        return DiGraph(n, pairs)
+    return DiGraph.from_undirected_edges(n, [tuple(p) for p in pairs])
+
+
+def watts_strogatz_graph(
+    n: int, k: int, beta: float, *, seed=None
+) -> DiGraph:
+    """Watts–Strogatz small-world graph (returned as a bidirected DiGraph)."""
+    check_positive_int(n, "n")
+    check_positive_int(k, "k")
+    check_in_range(beta, 0.0, 1.0, "beta")
+    if k % 2 == 1 or k >= n:
+        raise ValidationError(f"k must be even and < n, got k={k}, n={n}")
+    rng = as_rng(seed)
+    edges: set[tuple[int, int]] = set()
+    for u in range(n):
+        for offset in range(1, k // 2 + 1):
+            v = (u + offset) % n
+            a, b = min(u, v), max(u, v)
+            edges.add((a, b))
+    rewired: set[tuple[int, int]] = set()
+    for (a, b) in sorted(edges):
+        if rng.random() < beta:
+            for _ in range(16):  # bounded retries to find a fresh endpoint
+                c = int(rng.integers(n))
+                if c != a and (min(a, c), max(a, c)) not in edges and (
+                    min(a, c),
+                    max(a, c),
+                ) not in rewired:
+                    rewired.add((min(a, c), max(a, c)))
+                    break
+            else:
+                rewired.add((a, b))
+        else:
+            rewired.add((a, b))
+    return DiGraph.from_undirected_edges(n, sorted(rewired))
+
+
+def planted_partition_graph(
+    sizes: list[int], p_in: float, p_out: float, *, seed=None
+) -> tuple[DiGraph, np.ndarray]:
+    """Planted-partition (stochastic block) graph.
+
+    Returns the graph and the array of true block labels. Used to test the
+    clustering substrate and to build community-structured opinion data.
+    """
+    for s in sizes:
+        check_positive_int(s, "block size")
+    check_in_range(p_in, 0.0, 1.0, "p_in")
+    check_in_range(p_out, 0.0, 1.0, "p_out")
+    rng = as_rng(seed)
+    n = int(sum(sizes))
+    labels = np.repeat(np.arange(len(sizes)), sizes)
+    edges: list[tuple[int, int]] = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            p = p_in if labels[u] == labels[v] else p_out
+            if rng.random() < p:
+                edges.append((u, v))
+    return DiGraph.from_undirected_edges(n, edges), labels
+
+
+def two_cluster_graph(
+    cluster_size: int,
+    *,
+    p_in: float = 0.2,
+    n_bridges: int = 3,
+    seed=None,
+) -> tuple[DiGraph, np.ndarray, list[tuple[int, int]]]:
+    """The Fig. 5 topology: two dense clusters joined by a few bridge edges.
+
+    Returns ``(graph, labels, bridges)`` where *labels* assigns 0/1 cluster
+    membership and *bridges* lists the bridge endpoints ``(u_in_c0, v_in_c1)``.
+    Bridge endpoints are deterministic (evenly spaced) so experiments can
+    place "propagated" mass next to them.
+    """
+    check_positive_int(cluster_size, "cluster_size")
+    check_positive_int(n_bridges, "n_bridges")
+    rng = as_rng(seed)
+    n = 2 * cluster_size
+    labels = np.repeat(np.arange(2), cluster_size)
+    edges: list[tuple[int, int]] = []
+    for base in (0, cluster_size):
+        # Ring backbone guarantees connectivity inside each cluster.
+        for i in range(cluster_size):
+            edges.append((base + i, base + (i + 1) % cluster_size))
+        for i in range(cluster_size):
+            for j in range(i + 2, cluster_size):
+                if rng.random() < p_in:
+                    edges.append((base + i, base + j))
+    step = max(1, cluster_size // n_bridges)
+    bridges = [
+        (i * step % cluster_size, cluster_size + (i * step) % cluster_size)
+        for i in range(n_bridges)
+    ]
+    edges.extend(bridges)
+    return DiGraph.from_undirected_edges(n, edges), labels, bridges
+
+
+def star_graph(n: int, *, center_out: bool = True) -> DiGraph:
+    """Star on ``n`` nodes with node 0 at the center.
+
+    ``center_out=True`` directs edges ``0 -> i`` (hub influences leaves);
+    otherwise leaves influence the hub. Handy in unit tests.
+    """
+    check_positive_int(n, "n")
+    if center_out:
+        edges = [(0, i) for i in range(1, n)]
+    else:
+        edges = [(i, 0) for i in range(1, n)]
+    return DiGraph(n, edges)

@@ -1,0 +1,81 @@
+"""Graph serialisation: whitespace edge lists and compressed npz."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graph.digraph import DiGraph
+
+__all__ = ["write_edgelist", "read_edgelist", "save_npz", "load_npz"]
+
+
+def write_edgelist(graph: DiGraph, path: str | os.PathLike, *, weights: bool = False) -> None:
+    """Write ``u v [w]`` lines, one edge per line, '#' header with n."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(f"# nodes {graph.num_nodes}\n")
+        for u, v, w in graph.edges():
+            if weights:
+                fh.write(f"{u} {v} {w:.12g}\n")
+            else:
+                fh.write(f"{u} {v}\n")
+
+
+def read_edgelist(path: str | os.PathLike) -> DiGraph:
+    """Read an edge list written by :func:`write_edgelist`.
+
+    Node count comes from the ``# nodes N`` header when present, otherwise
+    from ``max(endpoint) + 1``.
+    """
+    path = Path(path)
+    n: int | None = None
+    edges: list[tuple[int, int]] = []
+    weights: list[float] = []
+    any_weights = False
+    with path.open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line[1:].split()
+                if len(parts) == 2 and parts[0] == "nodes":
+                    n = int(parts[1])
+                continue
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                raise GraphError(f"{path}:{lineno}: malformed edge line {line!r}")
+            u, v = int(parts[0]), int(parts[1])
+            edges.append((u, v))
+            if len(parts) == 3:
+                weights.append(float(parts[2]))
+                any_weights = True
+            else:
+                weights.append(1.0)
+    if n is None:
+        n = 1 + max((max(u, v) for u, v in edges), default=-1)
+    return DiGraph(n, edges, weights if any_weights else None)
+
+
+def save_npz(graph: DiGraph, path: str | os.PathLike) -> None:
+    """Save CSR arrays to a compressed ``.npz`` file."""
+    np.savez_compressed(
+        Path(path),
+        n=np.int64(graph.num_nodes),
+        indptr=graph.indptr,
+        indices=graph.indices,
+        weights=graph.weights,
+    )
+
+
+def load_npz(path: str | os.PathLike) -> DiGraph:
+    """Load a graph saved by :func:`save_npz`."""
+    with np.load(Path(path)) as data:
+        for key in ("n", "indptr", "indices", "weights"):
+            if key not in data:
+                raise GraphError(f"{path}: missing array {key!r}")
+        return DiGraph.from_csr(data["indptr"], data["indices"], data["weights"])

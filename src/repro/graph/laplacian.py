@@ -1,0 +1,61 @@
+"""Graph Laplacians (for the quad-form baseline distance of §6.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.graph.digraph import DiGraph
+
+__all__ = ["laplacian_matrix", "normalized_laplacian_matrix"]
+
+
+def laplacian_matrix(graph: DiGraph, *, dense: bool = False):
+    """Combinatorial Laplacian ``L = D - A`` of the undirected version.
+
+    Returns a scipy sparse CSR matrix by default (dense numpy array when
+    ``dense=True`` — only sensible for small graphs, e.g. in tests).
+    """
+    from scipy.sparse import diags
+
+    adj = graph.to_undirected().to_scipy_csr()
+    # to_undirected() collapses duplicate directions, so adj is symmetric 0/1*w.
+    degrees = np.asarray(adj.sum(axis=1)).ravel()
+    lap = diags(degrees) - adj
+    if dense:
+        return np.asarray(lap.todense())
+    return lap.tocsr()
+
+
+def normalized_laplacian_matrix(graph: DiGraph, *, dense: bool = False):
+    """Symmetric normalized Laplacian ``I - D^-1/2 A D^-1/2``.
+
+    Isolated nodes contribute zero rows/columns (standard convention).
+    """
+    from scipy.sparse import diags, identity
+
+    adj = graph.to_undirected().to_scipy_csr()
+    degrees = np.asarray(adj.sum(axis=1)).ravel()
+    with np.errstate(divide="ignore"):
+        inv_sqrt = 1.0 / np.sqrt(degrees)
+    inv_sqrt[~np.isfinite(inv_sqrt)] = 0.0
+    d_half = diags(inv_sqrt)
+    lap = identity(graph.num_nodes, format="csr") - d_half @ adj @ d_half
+    if dense:
+        return np.asarray(lap.todense())
+    return lap.tocsr()
+
+
+def quadratic_form(lap, x: np.ndarray) -> float:
+    """Evaluate ``x^T L x`` for a (sparse or dense) Laplacian.
+
+    Clamps tiny negative values caused by floating-point noise to zero,
+    because the quad-form distance takes a square root of this quantity.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1 or x.shape[0] != lap.shape[0]:
+        raise ValidationError(
+            f"vector length {x.shape} does not match Laplacian {lap.shape}"
+        )
+    value = float(x @ (lap @ x))
+    return max(value, 0.0)

@@ -1,0 +1,40 @@
+"""Priority queues with decrease-key, as required by Dijkstra variants.
+
+The paper's Theorem 4 cites Dijkstra over a radix/Fibonacci-heap combination
+(Ahuja et al. 1990) for integer edge costs bounded by ``U``; the released
+implementation used a binary heap. We provide both, plus a pairing heap
+(an efficient practical stand-in for the Fibonacci heap), behind one
+interface so the choice is a benchmark ablation rather than a code fork.
+"""
+
+from repro.heaps.binary_heap import IndexedBinaryHeap
+from repro.heaps.pairing_heap import PairingHeap
+from repro.heaps.radix_heap import RadixHeap
+
+__all__ = ["IndexedBinaryHeap", "RadixHeap", "PairingHeap", "make_heap", "HEAP_KINDS"]
+
+HEAP_KINDS = ("binary", "radix", "pairing")
+
+
+def make_heap(kind: str, *, capacity: int, max_key: float | None = None):
+    """Factory over the three heap implementations.
+
+    Parameters
+    ----------
+    kind:
+        One of ``"binary"``, ``"radix"``, ``"pairing"``.
+    capacity:
+        Number of distinct items (node count for Dijkstra).
+    max_key:
+        Upper bound on any inserted key — required by the radix heap
+        (monotone integer keys), ignored by the others.
+    """
+    if kind == "binary":
+        return IndexedBinaryHeap(capacity)
+    if kind == "pairing":
+        return PairingHeap(capacity)
+    if kind == "radix":
+        if max_key is None:
+            raise ValueError("radix heap requires max_key (C * (n-1) bound)")
+        return RadixHeap(capacity, int(max_key))
+    raise ValueError(f"unknown heap kind {kind!r}; expected one of {HEAP_KINDS}")

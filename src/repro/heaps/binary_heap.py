@@ -1,0 +1,122 @@
+"""Indexed binary min-heap with decrease-key.
+
+Items are integers ``0..capacity-1``; each may be present at most once.
+``decrease_key`` is O(log n) via a position index. This is the default heap
+for Dijkstra (matching the paper's released implementation, §6.5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["IndexedBinaryHeap"]
+
+
+class IndexedBinaryHeap:
+    """Array-backed binary min-heap keyed by float, indexed by item id."""
+
+    __slots__ = ("_keys", "_heap", "_pos", "_size")
+
+    _ABSENT = -1
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity}")
+        self._keys = np.empty(capacity, dtype=np.float64)
+        self._heap = np.empty(capacity, dtype=np.int64)  # heap position -> item
+        self._pos = np.full(capacity, self._ABSENT, dtype=np.int64)  # item -> position
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, item: int) -> bool:
+        return self._pos[item] != self._ABSENT
+
+    def key_of(self, item: int) -> float:
+        """Current key of *item* (undefined if absent)."""
+        return float(self._keys[item])
+
+    def push(self, item: int, key: float) -> None:
+        """Insert *item* with *key*; if present, behaves as decrease-key
+        (raises if the new key is larger)."""
+        if self._pos[item] != self._ABSENT:
+            self.decrease_key(item, key)
+            return
+        self._keys[item] = key
+        self._heap[self._size] = item
+        self._pos[item] = self._size
+        self._size += 1
+        self._sift_up(self._size - 1)
+
+    def decrease_key(self, item: int, key: float) -> None:
+        """Lower the key of an item already in the heap."""
+        if self._pos[item] == self._ABSENT:
+            raise KeyError(f"item {item} not in heap")
+        if key > self._keys[item]:
+            raise ValueError(
+                f"decrease_key would increase key of {item}: "
+                f"{self._keys[item]} -> {key}"
+            )
+        self._keys[item] = key
+        self._sift_up(int(self._pos[item]))
+
+    def pop(self) -> tuple[int, float]:
+        """Remove and return ``(item, key)`` with the minimum key."""
+        if self._size == 0:
+            raise IndexError("pop from empty heap")
+        top = int(self._heap[0])
+        key = float(self._keys[top])
+        self._size -= 1
+        last = int(self._heap[self._size])
+        self._pos[top] = self._ABSENT
+        if self._size > 0:
+            self._heap[0] = last
+            self._pos[last] = 0
+            self._sift_down(0)
+        return top, key
+
+    def peek(self) -> tuple[int, float]:
+        """Return (without removing) the minimum ``(item, key)``."""
+        if self._size == 0:
+            raise IndexError("peek at empty heap")
+        top = int(self._heap[0])
+        return top, float(self._keys[top])
+
+    # ------------------------------------------------------------------ #
+
+    def _sift_up(self, pos: int) -> None:
+        heap, keys, index = self._heap, self._keys, self._pos
+        item = heap[pos]
+        key = keys[item]
+        while pos > 0:
+            parent = (pos - 1) >> 1
+            parent_item = heap[parent]
+            if keys[parent_item] <= key:
+                break
+            heap[pos] = parent_item
+            index[parent_item] = pos
+            pos = parent
+        heap[pos] = item
+        index[item] = pos
+
+    def _sift_down(self, pos: int) -> None:
+        heap, keys, index = self._heap, self._keys, self._pos
+        size = self._size
+        item = heap[pos]
+        key = keys[item]
+        while True:
+            child = 2 * pos + 1
+            if child >= size:
+                break
+            right = child + 1
+            if right < size and keys[heap[right]] < keys[heap[child]]:
+                child = right
+            child_item = heap[child]
+            if keys[child_item] >= key:
+                break
+            heap[pos] = child_item
+            index[child_item] = pos
+            pos = child
+        heap[pos] = item
+        index[item] = pos

@@ -1,0 +1,138 @@
+"""One-level radix heap for monotone integer keys (Ahuja–Mehlhorn–Orlin–Tarjan).
+
+A radix heap exploits Dijkstra's monotonicity: keys popped never decrease,
+and every key lies in ``[last_popped, last_popped + max_span]``. Buckets hold
+exponentially growing key ranges relative to the last popped key; pops
+redistribute the first non-empty bucket. For integer edge costs bounded by
+``U`` (the paper's Assumption 2) this yields O(m + n log U)-style behaviour
+— the heap the paper's Theorem 4 cites.
+"""
+
+from __future__ import annotations
+
+__all__ = ["RadixHeap"]
+
+
+class RadixHeap:
+    """Monotone integer-key priority queue with decrease-key.
+
+    Parameters
+    ----------
+    capacity:
+        Item ids are ``0..capacity-1``.
+    max_key:
+        Strict upper bound on any key ever inserted (e.g. ``U * (n - 1)``
+        for Dijkstra with edge costs at most ``U``).
+    """
+
+    __slots__ = ("_capacity", "_max_key", "_buckets", "_keys", "_where", "_last", "_size")
+
+    _ABSENT = -1
+
+    def __init__(self, capacity: int, max_key: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity}")
+        if max_key < 0:
+            raise ValueError(f"max_key must be non-negative, got {max_key}")
+        self._capacity = capacity
+        self._max_key = max_key
+        n_buckets = max(2, max_key.bit_length() + 2)
+        self._buckets: list[dict[int, int]] = [dict() for _ in range(n_buckets)]
+        self._keys = [0] * capacity
+        self._where = [self._ABSENT] * capacity
+        self._last = 0  # last popped key (monotone floor)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, item: int) -> bool:
+        return self._where[item] != self._ABSENT
+
+    def key_of(self, item: int) -> float:
+        return float(self._keys[item])
+
+    def _bucket_index(self, key: int) -> int:
+        """Bucket b holds keys whose binary representation first differs from
+        ``_last`` at bit b-1 (bucket 0: key == _last)."""
+        diff = key ^ self._last
+        return diff.bit_length()  # 0 when key == last
+
+    def push(self, item: int, key: float) -> None:
+        key = int(key)
+        if key < self._last:
+            raise ValueError(
+                f"radix heap requires monotone keys: {key} < last popped {self._last}"
+            )
+        if key > self._max_key:
+            raise ValueError(f"key {key} exceeds declared max_key {self._max_key}")
+        if self._where[item] != self._ABSENT:
+            self.decrease_key(item, key)
+            return
+        b = self._bucket_index(key)
+        self._buckets[b][item] = key
+        self._keys[item] = key
+        self._where[item] = b
+        self._size += 1
+
+    def decrease_key(self, item: int, key: float) -> None:
+        key = int(key)
+        b_old = self._where[item]
+        if b_old == self._ABSENT:
+            raise KeyError(f"item {item} not in heap")
+        old = self._keys[item]
+        if key > old:
+            raise ValueError(f"decrease_key would increase key of {item}: {old} -> {key}")
+        if key < self._last:
+            raise ValueError(
+                f"radix heap requires monotone keys: {key} < last popped {self._last}"
+            )
+        del self._buckets[b_old][item]
+        b_new = self._bucket_index(key)
+        self._buckets[b_new][item] = key
+        self._keys[item] = key
+        self._where[item] = b_new
+
+    def pop(self) -> tuple[int, float]:
+        if self._size == 0:
+            raise IndexError("pop from empty heap")
+        # Find first non-empty bucket.
+        b = 0
+        while not self._buckets[b]:
+            b += 1
+        if b == 0:
+            item, key = self._buckets[0].popitem()
+            self._where[item] = self._ABSENT
+            self._size -= 1
+            return item, float(key)
+        # Redistribute: the minimum key in bucket b becomes the new floor;
+        # every item in the bucket lands in a strictly smaller bucket.
+        bucket = self._buckets[b]
+        min_key = min(bucket.values())
+        self._last = min_key
+        items = list(bucket.items())
+        bucket.clear()
+        for item, key in items:
+            nb = self._bucket_index(key)
+            self._buckets[nb][item] = key
+            self._where[item] = nb
+        item, key = next(iter(self._buckets[0].items()))
+        del self._buckets[0][item]
+        self._where[item] = self._ABSENT
+        self._size -= 1
+        return item, float(key)
+
+    def peek(self) -> tuple[int, float]:
+        if self._size == 0:
+            raise IndexError("peek at empty heap")
+        best_item = -1
+        best_key = None
+        for bucket in self._buckets:
+            if bucket:
+                for item, key in bucket.items():
+                    if best_key is None or key < best_key:
+                        best_key = key
+                        best_item = item
+                break  # min always lives in the first non-empty bucket
+        assert best_key is not None
+        return best_item, float(best_key)

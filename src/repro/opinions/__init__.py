@@ -1,0 +1,38 @@
+"""Polar opinion states and opinion-dynamics models.
+
+A *network state* assigns every user an opinion in ``{+1, 0, -1}``
+(positive / neutral / negative, §3). Opinion models provide (a) the
+per-edge opinion-spreading penalties ``-log Pout`` entering the ground
+distance (Eq. 2) and (b) forward simulators used to generate synthetic
+evolution data (§6.1, §6.4).
+"""
+
+from repro.opinions.dynamics import (
+    evolve_state,
+    generate_series,
+    random_transition,
+    seed_state,
+)
+from repro.opinions.models import (
+    IndependentCascadeModel,
+    LinearThresholdModel,
+    ModelAgnostic,
+    OpinionModel,
+)
+from repro.opinions.state import NEGATIVE, NEUTRAL, POSITIVE, NetworkState, StateSeries
+
+__all__ = [
+    "NetworkState",
+    "StateSeries",
+    "POSITIVE",
+    "NEUTRAL",
+    "NEGATIVE",
+    "OpinionModel",
+    "ModelAgnostic",
+    "IndependentCascadeModel",
+    "LinearThresholdModel",
+    "seed_state",
+    "evolve_state",
+    "generate_series",
+    "random_transition",
+]

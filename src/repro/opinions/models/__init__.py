@@ -1,0 +1,13 @@
+"""Opinion-dynamics models: spreading penalties (Eq. 2) + simulators."""
+
+from repro.opinions.models.base import OpinionModel
+from repro.opinions.models.independent_cascade import IndependentCascadeModel
+from repro.opinions.models.linear_threshold import LinearThresholdModel
+from repro.opinions.models.model_agnostic import ModelAgnostic
+
+__all__ = [
+    "OpinionModel",
+    "ModelAgnostic",
+    "IndependentCascadeModel",
+    "LinearThresholdModel",
+]

@@ -1,0 +1,60 @@
+"""Bellman–Ford (needed by Johnson's reweighting; tolerates negative edges)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import GraphError, ValidationError
+from repro.graph.digraph import DiGraph
+
+__all__ = ["bellman_ford"]
+
+
+def bellman_ford(
+    graph: DiGraph,
+    source: int,
+    *,
+    weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """Single-source distances allowing negative edge weights.
+
+    Raises :class:`GraphError` when a negative cycle is reachable from
+    *source*. Implementation is the queue-based SPFA refinement of
+    Bellman–Ford with a relaxation counter as the cycle detector.
+    """
+    n = graph.num_nodes
+    if not 0 <= source < n:
+        raise ValidationError(f"source {source} out of range")
+    if weights is None:
+        w = graph.weights
+    else:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape != graph.indices.shape:
+            raise ValidationError("weights must align with graph edges")
+
+    dist = np.full(n, np.inf)
+    dist[source] = 0.0
+    in_queue = np.zeros(n, dtype=bool)
+    relax_count = np.zeros(n, dtype=np.int64)
+    from collections import deque
+
+    queue: deque[int] = deque([source])
+    in_queue[source] = True
+    indptr, indices = graph.indptr, graph.indices
+    while queue:
+        u = queue.popleft()
+        in_queue[u] = False
+        du = dist[u]
+        lo, hi = indptr[u], indptr[u + 1]
+        for k in range(lo, hi):
+            v = int(indices[k])
+            alt = du + w[k]
+            if alt < dist[v] - 1e-15:
+                dist[v] = alt
+                if not in_queue[v]:
+                    relax_count[v] += 1
+                    if relax_count[v] > n:
+                        raise GraphError("negative cycle reachable from source")
+                    queue.append(v)
+                    in_queue[v] = True
+    return dist

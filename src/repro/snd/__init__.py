@@ -1,0 +1,29 @@
+"""Social Network Distance (SND) — the paper's core contribution (§3-§5).
+
+:class:`SND` is the user-facing facade::
+
+    from repro import SND, ModelAgnostic
+    snd = SND(graph, model=ModelAgnostic(), n_clusters=8)
+    value = snd.distance(state_a, state_b)
+
+Internally each call evaluates the four EMD* terms of Eq. 3 with ground
+distances built from Eq. 2, using the linear-time reduced pipeline of
+Theorem 4 (:mod:`repro.snd.fast`); :mod:`repro.snd.direct` computes the
+same quantity without the reduction, for validation and the Fig. 11
+baseline.
+"""
+
+from repro.snd.banks import BankAllocation, allocate_banks
+from repro.snd.direct import snd_direct
+from repro.snd.ground import GroundDistanceConfig, build_edge_costs, quantize_costs
+from repro.snd.snd import SND
+
+__all__ = [
+    "SND",
+    "snd_direct",
+    "BankAllocation",
+    "allocate_banks",
+    "GroundDistanceConfig",
+    "build_edge_costs",
+    "quantize_costs",
+]

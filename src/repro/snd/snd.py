@@ -1,0 +1,207 @@
+"""The :class:`SND` facade — Social Network Distance (Eq. 3).
+
+.. math::
+   SND(G_1, G_2) = \\tfrac{1}{2}\\bigl[
+       EMD^*(G_1^+, G_2^+, D(G_1,+)) + EMD^*(G_1^-, G_2^-, D(G_1,-)) +
+       EMD^*(G_2^+, G_1^+, D(G_2,+)) + EMD^*(G_2^-, G_1^-, D(G_2,-))\\bigr]
+
+Opposite-polarity users are treated as neutral inside each polarity
+histogram (``NetworkState.histogram``), the ground distance is rebuilt for
+the supplier-side state of each term, and each term runs through the fast
+Theorem 4 pipeline. The construction is symmetric by design, so SND applies
+to time-unordered state pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import StateError, ValidationError
+from repro.graph.digraph import DiGraph
+from repro.opinions.models.base import OpinionModel
+from repro.opinions.models.model_agnostic import ModelAgnostic
+from repro.opinions.state import NEGATIVE, POSITIVE, NetworkState, StateSeries
+from repro.snd.banks import BankAllocation, allocate_banks
+from repro.snd.fast import FastTermStats, emd_star_term_fast
+from repro.snd.ground import DEFAULT_MAX_COST, GroundDistanceConfig
+
+__all__ = ["SND", "SNDResult"]
+
+
+@dataclass
+class SNDResult:
+    """A fully itemised SND evaluation (term order as in Eq. 3)."""
+
+    value: float
+    terms: tuple[float, float, float, float]
+    stats: tuple[FastTermStats, FastTermStats, FastTermStats, FastTermStats]
+
+    @property
+    def n_delta(self) -> int:
+        """Changed users observed across the positive/negative terms."""
+        return max(
+            self.stats[0].n_suppliers + self.stats[0].n_consumers,
+            self.stats[1].n_suppliers + self.stats[1].n_consumers,
+        )
+
+
+class SND:
+    """Social Network Distance over a fixed graph and opinion model.
+
+    Parameters
+    ----------
+    graph:
+        The social network (direction = influence flow).
+    model:
+        Opinion model supplying spreading penalties; defaults to
+        :class:`ModelAgnostic`.
+    banks:
+        A :class:`BankAllocation`, or ``None`` to allocate with *strategy* /
+        *n_clusters* / *n_banks* below.
+    strategy, n_clusters, n_banks:
+        Bank-allocation knobs (see :func:`repro.snd.banks.allocate_banks`).
+    communication_penalties, adoption_penalties:
+        Optional ``-log P`` / ``-log Pin`` terms of Eq. 2.
+    max_cost:
+        Assumption-2 integer bound ``U``.
+    engine:
+        Shortest-path engine: ``"scipy"`` (default) or ``"python"``.
+    heap:
+        Heap for the python engine: ``"binary"``, ``"radix"``, ``"pairing"``.
+    solver:
+        Reduced-problem solver: ``"ssp"`` (default) or ``"cost-scaling"``.
+
+    Examples
+    --------
+    >>> from repro.graph import erdos_renyi_graph
+    >>> from repro.opinions import NetworkState
+    >>> g = erdos_renyi_graph(30, 0.2, seed=1)
+    >>> snd = SND(g, n_clusters=2, seed=0)
+    >>> a = NetworkState.from_active_sets(30, positive=[0, 1], negative=[5])
+    >>> b = NetworkState.from_active_sets(30, positive=[0, 2], negative=[5])
+    >>> snd.distance(a, a)
+    0.0
+    >>> snd.distance(a, b) > 0
+    True
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        model: OpinionModel | None = None,
+        *,
+        banks: BankAllocation | None = None,
+        strategy: str = "cluster",
+        n_clusters: int | None = None,
+        n_banks: int = 1,
+        communication_penalties: np.ndarray | None = None,
+        adoption_penalties: np.ndarray | None = None,
+        max_cost: int = DEFAULT_MAX_COST,
+        quantize: bool = True,
+        engine: str = "scipy",
+        heap: str = "binary",
+        solver: str = "ssp",
+        bank_metric: str = "nearest",
+        bank_shares: str = "mass",
+        seed=None,
+    ) -> None:
+        self.graph = graph
+        self.model = model if model is not None else ModelAgnostic()
+        if banks is None:
+            banks = allocate_banks(
+                graph,
+                strategy=strategy,
+                n_clusters=n_clusters,
+                n_banks=n_banks,
+                max_cost=max_cost,
+                seed=seed,
+            )
+        banks.validate(graph.num_nodes)
+        self.banks = banks
+        self.ground = GroundDistanceConfig(
+            model=self.model,
+            communication_penalties=communication_penalties,
+            adoption_penalties=adoption_penalties,
+            max_cost=max_cost,
+            quantize=quantize,
+        )
+        if engine not in ("scipy", "python"):
+            raise ValidationError(f"unknown engine {engine!r}")
+        self.engine = engine
+        self.heap = heap
+        self.solver = solver
+        self.bank_metric = bank_metric
+        self.bank_shares = bank_shares
+
+    # ------------------------------------------------------------------ #
+
+    def _check_state(self, state: NetworkState) -> None:
+        if state.n != self.graph.num_nodes:
+            raise StateError(
+                f"state covers {state.n} users, graph has {self.graph.num_nodes}"
+            )
+
+    def term(
+        self,
+        supplier_state: NetworkState,
+        consumer_state: NetworkState,
+        opinion: int,
+        *,
+        stats: FastTermStats | None = None,
+    ) -> float:
+        """One EMD* term: mass of *opinion* moving from *supplier_state*'s
+        adopters to *consumer_state*'s adopters under the ground distance
+        built from *supplier_state*."""
+        self._check_state(supplier_state)
+        self._check_state(consumer_state)
+        edge_costs = self.ground.edge_costs(self.graph, supplier_state, opinion)
+        return emd_star_term_fast(
+            self.graph,
+            supplier_state.histogram(opinion),
+            consumer_state.histogram(opinion),
+            edge_costs,
+            self.banks,
+            max_cost=self.ground.max_cost,
+            engine=self.engine,
+            heap=self.heap,
+            solver=self.solver,
+            bank_metric=self.bank_metric,
+            bank_shares=self.bank_shares,
+            stats=stats,
+        )
+
+    def distance(self, state_a: NetworkState, state_b: NetworkState) -> float:
+        """SND between two states (Eq. 3)."""
+        return self.evaluate(state_a, state_b).value
+
+    def evaluate(self, state_a: NetworkState, state_b: NetworkState) -> SNDResult:
+        """SND with per-term values and pipeline diagnostics."""
+        stats = tuple(FastTermStats() for _ in range(4))
+        terms = (
+            self.term(state_a, state_b, POSITIVE, stats=stats[0]),
+            self.term(state_a, state_b, NEGATIVE, stats=stats[1]),
+            self.term(state_b, state_a, POSITIVE, stats=stats[2]),
+            self.term(state_b, state_a, NEGATIVE, stats=stats[3]),
+        )
+        return SNDResult(value=0.5 * sum(terms), terms=terms, stats=stats)
+
+    def distance_series(self, series: StateSeries) -> np.ndarray:
+        """Distances between adjacent states: ``d_t = SND(G_{t-1}, G_t)``.
+
+        Returns an array of length ``len(series) - 1``.
+        """
+        return np.array(
+            [self.distance(a, b) for a, b in series.transitions()], dtype=np.float64
+        )
+
+    def __call__(self, state_a: NetworkState, state_b: NetworkState) -> float:
+        return self.distance(state_a, state_b)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SND(n={self.graph.num_nodes}, model={self.model.name}, "
+            f"clusters={self.banks.n_clusters}, banks={self.banks.n_banks}, "
+            f"engine={self.engine}, solver={self.solver})"
+        )

@@ -1,0 +1,5 @@
+"""SQLite-backed experiment store (graphs, state series, distance runs)."""
+
+from repro.store.database import ExperimentStore
+
+__all__ = ["ExperimentStore"]

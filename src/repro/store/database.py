@@ -1,0 +1,210 @@
+"""SQLite persistence for experiments — graphs, series, and results.
+
+An ICDE-appropriate convenience: benchmark harnesses write every measured
+row here, so EXPERIMENTS.md numbers are regenerable queries rather than
+copy-paste. The store is a plain single-file SQLite database (stdlib only),
+safe for concurrent readers, single writer.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import sqlite3
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import StoreError
+from repro.graph.digraph import DiGraph
+from repro.opinions.state import StateSeries
+from repro.store.schema import DDL, SCHEMA_VERSION
+
+__all__ = ["ExperimentStore"]
+
+
+def _graph_blob(graph: DiGraph) -> bytes:
+    buf = io.BytesIO()
+    np.savez_compressed(
+        buf, indptr=graph.indptr, indices=graph.indices, weights=graph.weights
+    )
+    return buf.getvalue()
+
+
+def _graph_from_blob(blob: bytes) -> DiGraph:
+    with np.load(io.BytesIO(blob)) as data:
+        return DiGraph.from_csr(data["indptr"], data["indices"], data["weights"])
+
+
+def _series_blob(series: StateSeries) -> bytes:
+    buf = io.BytesIO()
+    labels = np.asarray(series.labels if series.labels is not None else [], dtype=object)
+    np.savez_compressed(
+        buf,
+        matrix=series.to_matrix(),
+        labels=np.asarray([str(x) for x in labels], dtype="U64"),
+    )
+    return buf.getvalue()
+
+
+def _series_from_blob(blob: bytes) -> StateSeries:
+    with np.load(io.BytesIO(blob)) as data:
+        matrix = data["matrix"]
+        labels = [str(x) for x in data["labels"]] if data["labels"].size else None
+        return StateSeries.from_matrix(matrix, labels=labels)
+
+
+class ExperimentStore:
+    """Single-file experiment database.
+
+    Examples
+    --------
+    >>> store = ExperimentStore(":memory:")
+    >>> from repro.graph import star_graph
+    >>> gid = store.save_graph("star", star_graph(4))
+    >>> store.load_graph("star").num_nodes
+    4
+    """
+
+    def __init__(self, path: str | os.PathLike = "experiments.sqlite") -> None:
+        self.path = str(path)
+        if self.path != ":memory:":
+            Path(self.path).parent.mkdir(parents=True, exist_ok=True)
+        try:
+            self._conn = sqlite3.connect(self.path)
+        except sqlite3.Error as exc:  # pragma: no cover - environment-specific
+            raise StoreError(f"cannot open store at {self.path}: {exc}") from exc
+        self._conn.execute("PRAGMA foreign_keys = ON")
+        self._conn.executescript(DDL)
+        self._conn.execute(
+            "INSERT OR REPLACE INTO meta (key, value) VALUES ('schema_version', ?)",
+            (str(SCHEMA_VERSION),),
+        )
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ExperimentStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Graphs
+    # ------------------------------------------------------------------ #
+
+    def save_graph(self, name: str, graph: DiGraph, *, replace: bool = True) -> int:
+        """Insert (or replace) a named graph; returns its row id."""
+        blob = _graph_blob(graph)
+        try:
+            if replace:
+                self._conn.execute("DELETE FROM graphs WHERE name = ?", (name,))
+            cursor = self._conn.execute(
+                "INSERT INTO graphs (name, n_nodes, n_edges, blob) VALUES (?, ?, ?, ?)",
+                (name, graph.num_nodes, graph.num_edges, blob),
+            )
+            self._conn.commit()
+        except sqlite3.Error as exc:
+            raise StoreError(f"failed to save graph {name!r}: {exc}") from exc
+        return int(cursor.lastrowid)
+
+    def load_graph(self, name: str) -> DiGraph:
+        row = self._conn.execute(
+            "SELECT blob FROM graphs WHERE name = ?", (name,)
+        ).fetchone()
+        if row is None:
+            raise StoreError(f"no graph named {name!r}")
+        return _graph_from_blob(row[0])
+
+    def list_graphs(self) -> list[tuple[str, int, int]]:
+        """``(name, n_nodes, n_edges)`` for every stored graph."""
+        return [
+            (r[0], int(r[1]), int(r[2]))
+            for r in self._conn.execute(
+                "SELECT name, n_nodes, n_edges FROM graphs ORDER BY name"
+            )
+        ]
+
+    # ------------------------------------------------------------------ #
+    # State series
+    # ------------------------------------------------------------------ #
+
+    def save_series(
+        self, graph_name: str, series_name: str, series: StateSeries, *, replace: bool = True
+    ) -> int:
+        graph_row = self._conn.execute(
+            "SELECT id FROM graphs WHERE name = ?", (graph_name,)
+        ).fetchone()
+        if graph_row is None:
+            raise StoreError(f"no graph named {graph_name!r} for series")
+        graph_id = int(graph_row[0])
+        try:
+            if replace:
+                self._conn.execute(
+                    "DELETE FROM state_series WHERE graph_id = ? AND name = ?",
+                    (graph_id, series_name),
+                )
+            cursor = self._conn.execute(
+                "INSERT INTO state_series (graph_id, name, n_states, blob) "
+                "VALUES (?, ?, ?, ?)",
+                (graph_id, series_name, len(series), _series_blob(series)),
+            )
+            self._conn.commit()
+        except sqlite3.Error as exc:
+            raise StoreError(f"failed to save series {series_name!r}: {exc}") from exc
+        return int(cursor.lastrowid)
+
+    def load_series(self, graph_name: str, series_name: str) -> StateSeries:
+        row = self._conn.execute(
+            "SELECT s.blob FROM state_series s JOIN graphs g ON s.graph_id = g.id "
+            "WHERE g.name = ? AND s.name = ?",
+            (graph_name, series_name),
+        ).fetchone()
+        if row is None:
+            raise StoreError(f"no series {series_name!r} under graph {graph_name!r}")
+        return _series_from_blob(row[0])
+
+    # ------------------------------------------------------------------ #
+    # Results
+    # ------------------------------------------------------------------ #
+
+    def record_distance(
+        self,
+        series_id: int | None,
+        measure: str,
+        t_from: int,
+        t_to: int,
+        value: float,
+        elapsed_s: float | None = None,
+    ) -> None:
+        self._conn.execute(
+            "INSERT INTO distance_runs (series_id, measure, t_from, t_to, value, elapsed_s) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+            (series_id, measure, t_from, t_to, float(value), elapsed_s),
+        )
+        self._conn.commit()
+
+    def record_result(
+        self, experiment: str, metric: str, value: float, *, params: dict | None = None
+    ) -> None:
+        """Record one scalar experiment outcome (e.g. ``fig8 / tpr_at_0.3``)."""
+        self._conn.execute(
+            "INSERT INTO experiment_results (experiment, metric, params, value) "
+            "VALUES (?, ?, ?, ?)",
+            (experiment, metric, json.dumps(params or {}, sort_keys=True), float(value)),
+        )
+        self._conn.commit()
+
+    def results(self, experiment: str) -> list[tuple[str, dict, float]]:
+        """All ``(metric, params, value)`` rows for an experiment, newest last."""
+        return [
+            (r[0], json.loads(r[1]), float(r[2]))
+            for r in self._conn.execute(
+                "SELECT metric, params, value FROM experiment_results "
+                "WHERE experiment = ? ORDER BY id",
+                (experiment,),
+            )
+        ]

@@ -1,0 +1,59 @@
+"""Schema for the experiment store.
+
+Design notes: graphs and state series are stored as compressed npz blobs
+(they are opaque to SQL queries), while run results are first-class rows so
+``EXPERIMENTS.md`` tables can be regenerated with plain SQL.
+"""
+
+SCHEMA_VERSION = 1
+
+DDL = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS graphs (
+    id         INTEGER PRIMARY KEY AUTOINCREMENT,
+    name       TEXT NOT NULL UNIQUE,
+    n_nodes    INTEGER NOT NULL,
+    n_edges    INTEGER NOT NULL,
+    blob       BLOB NOT NULL,
+    created_at TEXT NOT NULL DEFAULT (datetime('now'))
+);
+
+CREATE TABLE IF NOT EXISTS state_series (
+    id         INTEGER PRIMARY KEY AUTOINCREMENT,
+    graph_id   INTEGER NOT NULL REFERENCES graphs(id) ON DELETE CASCADE,
+    name       TEXT NOT NULL,
+    n_states   INTEGER NOT NULL,
+    blob       BLOB NOT NULL,
+    created_at TEXT NOT NULL DEFAULT (datetime('now')),
+    UNIQUE (graph_id, name)
+);
+
+CREATE TABLE IF NOT EXISTS distance_runs (
+    id         INTEGER PRIMARY KEY AUTOINCREMENT,
+    series_id  INTEGER REFERENCES state_series(id) ON DELETE CASCADE,
+    measure    TEXT NOT NULL,
+    t_from     INTEGER NOT NULL,
+    t_to       INTEGER NOT NULL,
+    value      REAL NOT NULL,
+    elapsed_s  REAL,
+    created_at TEXT NOT NULL DEFAULT (datetime('now'))
+);
+
+CREATE TABLE IF NOT EXISTS experiment_results (
+    id         INTEGER PRIMARY KEY AUTOINCREMENT,
+    experiment TEXT NOT NULL,
+    metric     TEXT NOT NULL,
+    params     TEXT NOT NULL DEFAULT '{}',
+    value      REAL NOT NULL,
+    created_at TEXT NOT NULL DEFAULT (datetime('now'))
+);
+
+CREATE INDEX IF NOT EXISTS idx_distance_runs_series
+    ON distance_runs (series_id, measure);
+CREATE INDEX IF NOT EXISTS idx_experiment_results_exp
+    ON experiment_results (experiment, metric);
+"""

@@ -1,0 +1,73 @@
+"""Lightweight timing helpers for the scalability experiments (Figs. 11-12)."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch", "timed"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named wall-clock timings.
+
+    Example
+    -------
+    >>> sw = Stopwatch()
+    >>> with sw.measure("dijkstra"):
+    ...     pass
+    >>> "dijkstra" in sw.totals
+    True
+    """
+
+    totals: dict[str, float] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, label: str):
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[label] = self.totals.get(label, 0.0) + elapsed
+            self.counts[label] = self.counts.get(label, 0) + 1
+
+    def mean(self, label: str) -> float:
+        """Mean elapsed seconds across all measurements of *label*."""
+        if label not in self.totals:
+            raise KeyError(f"no measurements recorded for {label!r}")
+        return self.totals[label] / self.counts[label]
+
+    def report(self) -> str:
+        """Human-readable multi-line summary, longest total first."""
+        lines = []
+        for label in sorted(self.totals, key=self.totals.get, reverse=True):
+            lines.append(
+                f"{label:30s} total={self.totals[label]:10.4f}s "
+                f"n={self.counts[label]:5d} mean={self.mean(label):10.6f}s"
+            )
+        return "\n".join(lines)
+
+
+@contextmanager
+def timed():
+    """Context manager yielding a zero-arg callable that returns elapsed seconds.
+
+    >>> with timed() as elapsed:
+    ...     pass
+    >>> elapsed() >= 0.0
+    True
+    """
+    start = time.perf_counter()
+    end: list[float | None] = [None]
+
+    def elapsed() -> float:
+        return (end[0] or time.perf_counter()) - start
+
+    try:
+        yield elapsed
+    finally:
+        end[0] = time.perf_counter()

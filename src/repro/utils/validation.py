@@ -1,0 +1,112 @@
+"""Validation helpers used across the library.
+
+These helpers normalise inputs to numpy arrays and raise
+:class:`~repro.exceptions.ValidationError` with a message that names the
+offending argument, so that errors surfacing from deep inside a solver still
+point at the user-facing parameter.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "check_vector",
+    "check_square",
+    "check_nonnegative",
+    "check_finite",
+    "check_probability",
+    "check_positive_int",
+    "check_in_range",
+    "check_same_length",
+]
+
+
+def check_vector(
+    values: Iterable[float],
+    name: str = "values",
+    *,
+    dtype: type = np.float64,
+    length: int | None = None,
+) -> np.ndarray:
+    """Coerce *values* to a 1-D numpy array, optionally of fixed *length*."""
+    arr = np.asarray(values, dtype=dtype)
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if length is not None and arr.shape[0] != length:
+        raise ValidationError(f"{name} must have length {length}, got {arr.shape[0]}")
+    return arr
+
+
+def check_square(matrix: Iterable, name: str = "matrix", *, size: int | None = None) -> np.ndarray:
+    """Coerce *matrix* to a square 2-D float array, optionally of fixed *size*."""
+    arr = np.asarray(matrix, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ValidationError(f"{name} must be a square matrix, got shape {arr.shape}")
+    if size is not None and arr.shape[0] != size:
+        raise ValidationError(f"{name} must be {size}x{size}, got {arr.shape[0]}x{arr.shape[1]}")
+    return arr
+
+
+def check_nonnegative(arr: np.ndarray, name: str = "array") -> np.ndarray:
+    """Raise unless every entry of *arr* is >= 0."""
+    if arr.size and float(np.min(arr)) < 0:
+        raise ValidationError(f"{name} must be non-negative; min entry is {np.min(arr)}")
+    return arr
+
+
+def check_finite(arr: np.ndarray, name: str = "array") -> np.ndarray:
+    """Raise unless every entry of *arr* is finite."""
+    if arr.size and not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} must contain only finite values")
+    return arr
+
+
+def check_probability(value: float, name: str = "probability") -> float:
+    """Raise unless *value* lies in [0, 1]."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValidationError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def check_positive_int(value: int, name: str = "value") -> int:
+    """Raise unless *value* is a positive integer."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise ValidationError(f"{name} must be an integer, got {type(value).__name__}")
+    if value <= 0:
+        raise ValidationError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_in_range(
+    value: float,
+    lo: float,
+    hi: float,
+    name: str = "value",
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Raise unless ``lo <= value <= hi`` (or strict, if ``inclusive=False``)."""
+    value = float(value)
+    if inclusive:
+        ok = lo <= value <= hi
+    else:
+        ok = lo < value < hi
+    if not ok:
+        raise ValidationError(f"{name} must lie in [{lo}, {hi}], got {value}")
+    return value
+
+
+def check_same_length(name_a: str, a: Sequence, name_b: str, b: Sequence) -> None:
+    """Raise unless two sequences have equal length."""
+    if len(a) != len(b):
+        raise ValidationError(
+            f"{name_a} and {name_b} must have equal length, got {len(a)} and {len(b)}"
+        )

@@ -1,0 +1,155 @@
+"""Tests for the anomaly-score pipeline and ROC machinery."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.anomaly import (
+    anomaly_scores,
+    detect_anomalies,
+    normalize_distance_series,
+)
+from repro.analysis.roc import roc_auc, roc_curve, tpr_at_fpr
+from repro.exceptions import ValidationError
+
+
+class TestNormalization:
+    def test_scale_to_unit_max(self):
+        out = normalize_distance_series(np.array([1.0, 2.0, 4.0]))
+        assert out.tolist() == [0.25, 0.5, 1.0]
+
+    def test_active_count_division(self):
+        distances = np.array([10.0, 10.0])
+        counts = np.array([10.0, 20.0])
+        out = normalize_distance_series(distances, counts, scale=False)
+        assert out.tolist() == [1.0, 0.5]
+
+    def test_per_state_counts_accepted(self):
+        distances = np.array([10.0, 10.0])
+        counts = np.array([5.0, 10.0, 20.0])  # one per state
+        out = normalize_distance_series(distances, counts, scale=False)
+        assert out.tolist() == [1.0, 0.5]
+
+    def test_misaligned_counts_rejected(self):
+        with pytest.raises(ValidationError):
+            normalize_distance_series(np.ones(3), np.ones(7))
+
+    def test_zero_counts_safe(self):
+        out = normalize_distance_series(np.array([1.0]), np.array([0.0]), scale=False)
+        assert out.tolist() == [1.0]
+
+    def test_all_zero_distances(self):
+        out = normalize_distance_series(np.zeros(3))
+        assert out.tolist() == [0.0, 0.0, 0.0]
+
+
+class TestAnomalyScores:
+    def test_spike_scores_highest(self):
+        d = np.array([0.1, 0.1, 1.0, 0.1, 0.1])
+        scores = anomaly_scores(d)
+        assert np.argmax(scores) == 2
+        assert scores[2] == pytest.approx(1.8)
+
+    def test_flat_series_zero_scores(self):
+        assert np.allclose(anomaly_scores(np.full(5, 0.3)), 0.0)
+
+    def test_boundary_single_slope(self):
+        d = np.array([1.0, 0.0, 0.0])
+        scores = anomaly_scores(d)
+        assert scores[0] == pytest.approx(1.0)  # only the right slope
+
+    def test_empty(self):
+        assert anomaly_scores(np.array([])).size == 0
+
+
+class TestDetector:
+    def test_detects_known_spikes(self):
+        rng = np.random.default_rng(0)
+        d = 0.1 + 0.01 * rng.random(30)
+        d[[7, 19]] = 1.0
+        result = detect_anomalies(d)
+        assert set(result.flagged.tolist()) == {7, 19}
+
+    def test_top_k_mode(self):
+        d = np.array([0.1, 0.9, 0.1, 0.8, 0.1])
+        result = detect_anomalies(d, top_k=2)
+        assert sorted(result.flagged.tolist()) == [1, 3]
+
+    def test_threshold_mode(self):
+        d = np.array([0.1, 0.9, 0.1])
+        result = detect_anomalies(d, threshold=0.5)
+        assert result.flagged.tolist() == [1]
+
+    def test_both_modes_rejected(self):
+        with pytest.raises(ValidationError):
+            detect_anomalies(np.ones(4), threshold=0.5, top_k=2)
+
+    def test_ranking_order(self):
+        d = np.array([0.1, 0.9, 0.1, 0.5, 0.1])
+        result = detect_anomalies(d)
+        ranking = result.ranking()
+        assert ranking[0] == 1
+        assert ranking[1] == 3
+
+
+class TestRoc:
+    def test_perfect_ranking(self):
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        labels = np.array([1, 1, 0, 0])
+        assert roc_auc(scores, labels) == pytest.approx(1.0)
+
+    def test_inverted_ranking(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        labels = np.array([1, 1, 0, 0])
+        assert roc_auc(scores, labels) == pytest.approx(0.0)
+
+    def test_random_ranking_half(self):
+        rng = np.random.default_rng(1)
+        scores = rng.random(2000)
+        labels = rng.random(2000) < 0.3
+        assert roc_auc(scores, labels) == pytest.approx(0.5, abs=0.05)
+
+    def test_curve_anchored(self):
+        fpr, tpr = roc_curve([0.5, 0.4], [1, 0])
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+
+    def test_curve_monotone(self):
+        rng = np.random.default_rng(2)
+        scores = rng.random(50)
+        labels = rng.random(50) < 0.4
+        fpr, tpr = roc_curve(scores, labels)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+
+    def test_ties_collapsed(self):
+        scores = np.array([0.5, 0.5, 0.5])
+        labels = np.array([1, 0, 1])
+        fpr, tpr = roc_curve(scores, labels)
+        # Single sweep step: (0,0) -> (1,1).
+        assert len(fpr) == 3
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValidationError):
+            roc_curve([0.1, 0.2], [1, 1])
+
+    def test_tpr_at_fpr(self):
+        scores = np.array([0.9, 0.7, 0.6, 0.2])
+        labels = np.array([1, 0, 1, 0])
+        # At FPR 0: TPR 0.5 (first positive ranked top).
+        assert tpr_at_fpr(scores, labels, 0.0) == pytest.approx(0.5)
+        assert tpr_at_fpr(scores, labels, 0.5) == pytest.approx(1.0)
+
+    def test_tpr_at_fpr_bounds_checked(self):
+        with pytest.raises(ValidationError):
+            tpr_at_fpr([0.5], [1], 1.5)
+
+    def test_agrees_with_manual_auc(self):
+        scores = np.array([0.8, 0.6, 0.55, 0.54, 0.51, 0.4])
+        labels = np.array([1, 1, 0, 1, 0, 0])
+        # Manual AUC via pair counting (probability a positive outranks a
+        # negative).
+        pos = scores[labels == 1]
+        neg = scores[labels == 0]
+        wins = sum((p > n) + 0.5 * (p == n) for p in pos for n in neg)
+        manual = wins / (len(pos) * len(neg))
+        assert roc_auc(scores, labels) == pytest.approx(manual)

@@ -1,0 +1,139 @@
+"""Tests for the §9 metric-space applications (search/clustering/knn)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metric_space import KnnStateClassifier, VPTree, k_medoids
+from repro.exceptions import ValidationError
+
+
+def euclidean(a, b):
+    return float(np.linalg.norm(np.asarray(a) - np.asarray(b)))
+
+
+class TestVPTree:
+    @pytest.fixture
+    def points(self):
+        rng = np.random.default_rng(3)
+        return [rng.normal(size=4) for _ in range(60)]
+
+    def test_matches_brute_force(self, points):
+        tree = VPTree(points, euclidean, seed=0)
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            query = rng.normal(size=4)
+            idx, dist = tree.nearest(query)
+            brute = min(range(len(points)), key=lambda i: euclidean(query, points[i]))
+            assert idx == brute
+            assert dist == pytest.approx(euclidean(query, points[brute]))
+
+    def test_pruning_beats_brute_force(self, points):
+        tree = VPTree(points, euclidean, seed=0)
+        total = 0
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            tree.nearest(rng.normal(size=4))
+            total += tree.last_query_evaluations
+        assert total < 10 * len(points)  # strictly fewer than brute force
+
+    def test_exclude_for_leave_one_out(self, points):
+        tree = VPTree(points, euclidean, seed=0)
+        idx, _ = tree.nearest(points[5], exclude=5)
+        assert idx != 5
+
+    def test_member_query_returns_self(self, points):
+        tree = VPTree(points, euclidean, seed=0)
+        idx, dist = tree.nearest(points[7])
+        assert idx == 7
+        assert dist == pytest.approx(0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            VPTree([], euclidean)
+
+    def test_single_item(self):
+        tree = VPTree([np.zeros(2)], euclidean)
+        idx, dist = tree.nearest(np.ones(2))
+        assert idx == 0
+
+
+class TestKMedoids:
+    def make_blobs(self):
+        rng = np.random.default_rng(0)
+        pts = np.vstack([
+            rng.normal(0, 0.3, size=(10, 2)),
+            rng.normal(5, 0.3, size=(10, 2)),
+        ])
+        d = np.linalg.norm(pts[:, None, :] - pts[None, :, :], axis=2)
+        return d
+
+    def test_recovers_blobs(self):
+        d = self.make_blobs()
+        labels, medoids, cost = k_medoids(d, 2, seed=0)
+        assert len(set(labels[:10].tolist())) == 1
+        assert len(set(labels[10:].tolist())) == 1
+        assert labels[0] != labels[10]
+        assert cost >= 0
+
+    def test_k_equals_n(self):
+        d = self.make_blobs()
+        labels, medoids, cost = k_medoids(d, d.shape[0], seed=0)
+        assert cost == pytest.approx(0.0)
+
+    def test_bad_k(self):
+        d = self.make_blobs()
+        with pytest.raises(ValidationError):
+            k_medoids(d, 0)
+        with pytest.raises(ValidationError):
+            k_medoids(d, 99)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValidationError):
+            k_medoids(np.zeros((2, 3)), 1)
+
+    def test_deterministic(self):
+        d = self.make_blobs()
+        a = k_medoids(d, 2, seed=5)
+        b = k_medoids(d, 2, seed=5)
+        assert np.array_equal(a[0], b[0])
+
+
+class TestKnnClassifier:
+    def test_simple_separation(self):
+        states = [np.array([v]) for v in (0.0, 0.1, 0.2, 5.0, 5.1, 5.2)]
+        labels = ["low"] * 3 + ["high"] * 3
+        clf = KnnStateClassifier(euclidean, k=3).fit(states, labels)
+        assert clf.predict(np.array([0.05])) == "low"
+        assert clf.predict(np.array([4.9])) == "high"
+        assert clf.score(states, labels) == 1.0
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(ValidationError):
+            KnnStateClassifier(euclidean).predict(np.zeros(1))
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValidationError):
+            KnnStateClassifier(euclidean).fit([np.zeros(1)], ["a", "b"])
+
+    def test_k_larger_than_train_set(self):
+        clf = KnnStateClassifier(euclidean, k=10).fit([np.zeros(1)], ["only"])
+        assert clf.predict(np.ones(1)) == "only"
+
+
+class TestWithSnd:
+    """End-to-end: SND as the metric for classification of regimes."""
+
+    def test_classify_icc_vs_random_transitions(self):
+        from repro.datasets.synthetic import icc_transition_pairs
+        from repro.snd import SND, allocate_banks
+
+        graph, pairs = icc_transition_pairs(n_nodes=600, n_pairs=10, n_seeds=30, seed=4)
+        banks = allocate_banks(graph, n_clusters=8, hop_cost=1.0, gamma_scale=0.5, seed=0)
+        snd = SND(graph, banks=banks)
+        # Feature: per-unit SND of the transition; 1-NN on that scalar.
+        feats, labels = [], []
+        for g1, g2, anomalous in pairs:
+            feats.append(np.array([snd.distance(g1, g2) / max(1, g1.n_delta(g2))]))
+            labels.append("random" if anomalous else "icc")
+        clf = KnnStateClassifier(euclidean, k=1).fit(feats[:6], labels[:6])
+        assert clf.score(feats[6:], labels[6:]) >= 0.75

@@ -1,0 +1,167 @@
+"""Tests for the §6.3 prediction pipeline and its baselines."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.baselines import community_lp_predict, nhood_voting_predict
+from repro.analysis.extrapolation import extrapolate_next
+from repro.analysis.prediction import DistancePredictor
+from repro.distances.vector import hamming_distance
+from repro.exceptions import PredictionError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import planted_partition_graph, star_graph
+from repro.opinions.dynamics import generate_series
+from repro.opinions.state import NetworkState, StateSeries
+
+
+class TestExtrapolation:
+    def test_linear_trend(self):
+        assert extrapolate_next([1.0, 2.0, 3.0]) == pytest.approx(4.0)
+
+    def test_linear_single_point(self):
+        assert extrapolate_next([2.5]) == 2.5
+
+    def test_mean_and_last(self):
+        assert extrapolate_next([1.0, 3.0], method="mean") == 2.0
+        assert extrapolate_next([1.0, 3.0], method="last") == 3.0
+
+    def test_clamped_at_zero(self):
+        assert extrapolate_next([3.0, 2.0, 1.0, 0.0]) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(PredictionError):
+            extrapolate_next([])
+
+    def test_unknown_method(self):
+        with pytest.raises(PredictionError):
+            extrapolate_next([1.0], method="arima")
+
+
+class TestDistancePredictor:
+    def make_smooth_series(self, n=40, t=5, seed=0):
+        """Series where exactly one user activates '+' per step (perfectly
+        smooth hamming distances), so distance-based prediction is exact."""
+        rng = np.random.default_rng(seed)
+        values = np.zeros(n, dtype=np.int8)
+        values[:10] = 1
+        values[10:14] = -1
+        states = [NetworkState(values.copy())]
+        for k in range(1, t):
+            values[13 + k] = 1
+            states.append(NetworkState(values.copy()))
+        return StateSeries(states)
+
+    def test_recovers_hidden_opinions_on_smooth_series(self):
+        series = self.make_smooth_series()
+        predictor = DistancePredictor(hamming_distance, n_assignments=200)
+        current = series[len(series) - 1]
+        targets = np.array([0, 1, 10])  # two '+' users, one '-'
+        truth = current.values[targets]
+        hidden = current.with_neutralized(targets)
+        outcome = predictor.predict(series[:-1], hidden, targets, seed=1)
+        # The best assignment makes dist(G_-1, G_0*) closest to the
+        # extrapolated d* = 1; correct assignment achieves it exactly.
+        assert outcome.accuracy(truth) == 1.0
+
+    def test_needs_two_recent_states(self):
+        series = self.make_smooth_series(t=2)
+        predictor = DistancePredictor(hamming_distance)
+        with pytest.raises(PredictionError):
+            predictor.predict(series[:1], series[1], [0])
+
+    def test_duplicate_targets_rejected(self):
+        series = self.make_smooth_series()
+        predictor = DistancePredictor(hamming_distance)
+        with pytest.raises(PredictionError):
+            predictor.predict(series[:-1], series[len(series) - 1], [0, 0])
+
+    def test_empty_targets_rejected(self):
+        series = self.make_smooth_series()
+        predictor = DistancePredictor(hamming_distance)
+        with pytest.raises(PredictionError):
+            predictor.predict(series[:-1], series[len(series) - 1], [])
+
+    def test_outcome_accuracy_shape_checked(self):
+        series = self.make_smooth_series()
+        predictor = DistancePredictor(hamming_distance, n_assignments=10)
+        out = predictor.predict(series[:-1], series[len(series) - 1], [0, 1], seed=0)
+        with pytest.raises(PredictionError):
+            out.accuracy(np.array([1]))
+
+    def test_evaluate_protocol(self):
+        from repro.graph.generators import erdos_renyi_graph
+
+        g = erdos_renyi_graph(80, 0.1, seed=0)
+        series = generate_series(
+            g, 5, n_seeds=30, p_nbr=0.3, p_ext=0.05, seed=1
+        )
+        predictor = DistancePredictor(hamming_distance, n_assignments=30)
+        mean, std = predictor.evaluate(
+            series, n_targets=8, window=3, n_repeats=3, seed=2
+        )
+        assert 0.0 <= mean <= 100.0
+        assert std >= 0.0
+
+    def test_deterministic_under_seed(self):
+        series = self.make_smooth_series()
+        predictor = DistancePredictor(hamming_distance, n_assignments=20)
+        current = series[len(series) - 1]
+        hidden = current.with_neutralized([0, 10])
+        a = predictor.predict(series[:-1], hidden, [0, 10], seed=5)
+        b = predictor.predict(series[:-1], hidden, [0, 10], seed=5)
+        assert np.array_equal(a.predicted, b.predicted)
+
+
+class TestNhoodVoting:
+    def test_unanimous_neighborhood(self):
+        g = star_graph(5)  # hub 0 influences leaves
+        state = NetworkState([1, 0, 0, 0, 0])
+        # Leaves see exactly one active in-neighbor: the '+' hub.
+        preds = nhood_voting_predict(g, state, [1, 2, 3], seed=0)
+        assert np.all(preds == 1)
+
+    def test_no_active_neighbors_random_fallback(self):
+        g = star_graph(5, center_out=False)
+        state = NetworkState.neutral(5)
+        preds = [int(nhood_voting_predict(g, state, [1], seed=s)[0]) for s in range(30)]
+        assert set(preds) == {1, -1}
+
+    def test_majority_bias(self):
+        g = DiGraph(4, [(0, 3), (1, 3), (2, 3)])
+        state = NetworkState([1, 1, -1, 0])
+        preds = [
+            int(nhood_voting_predict(g, state, [3], seed=s)[0]) for s in range(90)
+        ]
+        assert np.mean([p == 1 for p in preds]) > 0.5
+
+
+class TestCommunityLp:
+    def test_dominant_opinion_per_community(self):
+        g, labels = planted_partition_graph([15, 15], 0.6, 0.02, seed=0)
+        values = np.where(labels == 0, 1, -1).astype(np.int8)
+        state = NetworkState(values)
+        targets = [0, 29]
+        preds = community_lp_predict(g, state, targets, seed=1)
+        assert preds[0] == 1
+        assert preds[1] == -1
+
+    def test_hidden_targets_do_not_vote(self):
+        g, labels = planted_partition_graph([10, 10], 0.7, 0.02, seed=1)
+        # Community 0: only the target is '+', everyone else neutral ->
+        # the target's own value must not leak into the tally.
+        values = np.zeros(20, dtype=np.int8)
+        values[0] = 1
+        values[labels == 1] = -1
+        state = NetworkState(values)
+        preds = [
+            int(community_lp_predict(g, state, [0], seed=s)[0]) for s in range(30)
+        ]
+        # Community 0 has no (non-target) active users: random fallback.
+        assert set(preds) == {1, -1}
+
+    def test_precomputed_labels_used(self):
+        g, labels = planted_partition_graph([10, 10], 0.6, 0.05, seed=2)
+        values = np.where(labels == 0, 1, -1).astype(np.int8)
+        state = NetworkState(values)
+        preds = community_lp_predict(g, state, [0], labels=labels, seed=0)
+        assert preds[0] == 1

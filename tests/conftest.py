@@ -1,0 +1,39 @@
+"""Shared fixtures: small graphs and states reused across test modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import erdos_renyi_graph, two_cluster_graph
+from repro.opinions.state import NetworkState
+
+
+@pytest.fixture
+def line_graph() -> DiGraph:
+    """0 -> 1 -> 2 -> 3 (directed path)."""
+    return DiGraph(4, [(0, 1), (1, 2), (2, 3)])
+
+
+@pytest.fixture
+def diamond_graph() -> DiGraph:
+    """0 -> {1, 2} -> 3 with asymmetric weights."""
+    return DiGraph(4, [(0, 1), (0, 2), (1, 3), (2, 3)], weights=[1.0, 2.0, 5.0, 1.0])
+
+
+@pytest.fixture
+def small_er_graph() -> DiGraph:
+    """Connected-ish ER graph with 30 nodes (bidirected)."""
+    return erdos_renyi_graph(30, 0.2, seed=7)
+
+
+@pytest.fixture
+def clustered_graph():
+    """Two-cluster bridge graph (Fig. 5 topology): (graph, labels, bridges)."""
+    return two_cluster_graph(12, p_in=0.4, n_bridges=2, seed=3)
+
+
+@pytest.fixture
+def tri_state() -> NetworkState:
+    return NetworkState(np.array([1, -1, 0, 1, 0, -1, 0, 0], dtype=np.int8))

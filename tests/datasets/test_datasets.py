@@ -1,0 +1,151 @@
+"""Tests for the experiment dataset builders."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.events import DEFAULT_TIMELINE, QUARTER_LABELS, Event
+from repro.datasets.synthetic import (
+    Fig7Config,
+    Fig8Config,
+    fig7_dataset,
+    fig8_dataset,
+    icc_transition_pairs,
+    prediction_dataset,
+)
+from repro.datasets.twitter import simulated_twitter_dataset
+
+
+class TestEvents:
+    def test_default_timeline_valid(self):
+        kinds = {e.kind for e in DEFAULT_TIMELINE}
+        assert kinds == {"consensus", "polarizing"}
+        quarters = [e.quarter for e in DEFAULT_TIMELINE]
+        assert len(set(quarters)) == len(quarters)
+        assert max(quarters) < len(QUARTER_LABELS)
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Event(quarter=0, name="x", kind="mixed")
+
+    def test_invalid_intensity_rejected(self):
+        with pytest.raises(ValueError):
+            Event(quarter=0, name="x", kind="consensus", intensity=0.0)
+
+
+class TestFig7:
+    def test_shapes_and_labels(self):
+        cfg = Fig7Config(n_nodes=300, n_seeds=20, n_states=8, anomalous=(4,))
+        graph, series = fig7_dataset(cfg)
+        # The dataset restricts to the giant component, so the node count
+        # is at most (and usually below) the configured size.
+        assert 0 < graph.num_nodes <= 300
+        assert len(series) == 8
+        assert series.labels[4] == "anomalous"
+        assert series.labels.count("anomalous") == 1
+
+    def test_deterministic(self):
+        cfg = Fig7Config(n_nodes=200, n_seeds=15, n_states=5, anomalous=(2,))
+        _, a = fig7_dataset(cfg)
+        _, b = fig7_dataset(cfg)
+        assert all(x == y for x, y in zip(a, b))
+
+    def test_activations_grow(self):
+        cfg = Fig7Config(n_nodes=300, n_seeds=20, n_states=6, anomalous=())
+        _, series = fig7_dataset(cfg)
+        counts = series.activation_counts()
+        assert counts[-1] >= counts[0]
+
+
+class TestFig8:
+    def test_anomaly_fraction(self):
+        cfg = Fig8Config(n_nodes=200, n_seeds=15, n_states=30, anomaly_fraction=0.2)
+        _, series = fig8_dataset(cfg)
+        n_anomalous = series.labels.count("anomalous")
+        assert n_anomalous == max(1, round(0.2 * 29))
+
+    def test_first_state_never_anomalous(self):
+        cfg = Fig8Config(n_nodes=150, n_seeds=10, n_states=20)
+        _, series = fig8_dataset(cfg)
+        assert series.labels[0] == "normal"
+
+
+class TestIccPairs:
+    def test_pair_structure(self):
+        graph, pairs = icc_transition_pairs(n_nodes=200, n_pairs=6, n_seeds=20, seed=1)
+        assert len(pairs) == 6
+        normal_flags = [anom for *_, anom in pairs]
+        assert normal_flags == [False, True] * 3
+        for g1, g2, _ in pairs:
+            assert g1.n == graph.num_nodes
+            assert g2.n_active >= g1.n_active
+
+    def test_anomalous_volume_matched(self):
+        _, pairs = icc_transition_pairs(n_nodes=300, n_pairs=10, n_seeds=30, seed=2)
+        normal_growth = [
+            g2.n_active - g1.n_active for g1, g2, anom in pairs if not anom
+        ]
+        anomalous_growth = [
+            g2.n_active - g1.n_active for g1, g2, anom in pairs if anom
+        ]
+        # Anomalous transitions are volume-matched to ICC rounds on average.
+        assert np.mean(anomalous_growth) <= 3 * max(1.0, np.mean(normal_growth))
+
+
+class TestPredictionDataset:
+    def test_enough_active_for_targets(self):
+        _, series = prediction_dataset(n_nodes=400, n_seeds=60, n_states=5, seed=0)
+        final = series[len(series) - 1]
+        assert final.n_positive >= 10
+        assert final.n_negative >= 10
+
+
+class TestTwitterDataset:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return simulated_twitter_dataset(n_users=300, avg_degree=10, seed=11)
+
+    def test_shapes(self, dataset):
+        assert dataset.graph.num_nodes == 300
+        assert len(dataset.series) == len(QUARTER_LABELS)
+        assert dataset.interest.shape == (len(QUARTER_LABELS),)
+        assert dataset.communities.shape == (300,)
+
+    def test_event_quarters_indexable(self, dataset):
+        for quarter, event in dataset.event_quarters.items():
+            assert dataset.series.labels[quarter] is not None
+            assert 0 <= quarter < len(dataset.series)
+
+    def test_interest_spikes_at_events(self, dataset):
+        event_quarters = set(dataset.event_quarters)
+        quiet = [
+            dataset.interest[t]
+            for t in range(len(dataset.series))
+            if t not in event_quarters and t > 0
+        ]
+        eventful = [dataset.interest[t] for t in sorted(event_quarters)]
+        assert np.mean(eventful) > np.mean(quiet)
+
+    def test_polarizing_events_follow_communities(self, dataset):
+        # New activations during a polarizing quarter align with their
+        # community: '+' adopters sit in community 0, '-' in community 1.
+        polarizing = [e for e in dataset.events if e.kind == "polarizing"]
+        assert polarizing, "timeline must include polarizing events"
+        q = max(e.quarter for e in polarizing)  # highest-intensity late one
+        before, after = dataset.series[q - 1], dataset.series[q]
+        new = np.setdiff1d(after.active_users(), before.active_users())
+        assert new.size > 0
+        aligned = (
+            (after.values[new] == 1) & (dataset.communities[new] == 0)
+        ) | ((after.values[new] == -1) & (dataset.communities[new] == 1))
+        assert aligned.mean() > 0.5
+
+    def test_deterministic(self):
+        a = simulated_twitter_dataset(n_users=150, avg_degree=8, seed=3)
+        b = simulated_twitter_dataset(n_users=150, avg_degree=8, seed=3)
+        assert all(x == y for x, y in zip(a.series, b.series))
+
+    def test_homophily_in_graph(self, dataset):
+        edge_arr = dataset.graph.edge_array()
+        comm = dataset.communities
+        same = comm[edge_arr[:, 0]] == comm[edge_arr[:, 1]]
+        assert same.mean() > 0.55

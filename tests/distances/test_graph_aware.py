@@ -1,0 +1,111 @@
+"""Tests for quad-form, walk-dist, and the distance registry."""
+
+import numpy as np
+import pytest
+
+from repro.distances.quad_form import quad_form_distance
+from repro.distances.registry import DistanceContext, DistanceRegistry, default_registry
+from repro.distances.walk_dist import contention_vector, walk_distance
+from repro.exceptions import ValidationError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import erdos_renyi_graph
+from repro.graph.laplacian import laplacian_matrix
+from repro.opinions.state import NetworkState, StateSeries
+
+
+class TestQuadForm:
+    def test_zero_for_identical(self):
+        g = erdos_renyi_graph(10, 0.3, seed=0)
+        s = NetworkState.from_active_sets(10, positive=[1])
+        assert quad_form_distance(s, s, graph=g) == 0.0
+
+    def test_counts_cut_weight(self):
+        g = DiGraph.from_undirected_edges(3, [(0, 1), (1, 2)])
+        a = NetworkState([1, 0, 0])
+        b = NetworkState([0, 0, 0])
+        # diff = [1,0,0]; x^T L x = (1-0)^2 over edge (0,1) = 1.
+        assert quad_form_distance(a, b, graph=g) == pytest.approx(1.0)
+
+    def test_structure_sensitivity(self):
+        # Changing two adjacent users is "smoother" than two distant ones.
+        g = DiGraph.from_undirected_edges(6, [(i, i + 1) for i in range(5)])
+        base = NetworkState.neutral(6)
+        adjacent = base.with_opinions([0, 1], 1)
+        distant = base.with_opinions([0, 5], 1)
+        lap = laplacian_matrix(g)
+        assert quad_form_distance(base, adjacent, lap) < quad_form_distance(
+            base, distant, lap
+        )
+
+    def test_requires_laplacian_or_graph(self):
+        with pytest.raises(ValueError):
+            quad_form_distance([1], [0])
+
+
+class TestWalkDist:
+    def test_contention_zero_without_active_neighbors(self):
+        g = DiGraph(3, [(0, 1)])
+        state = NetworkState([0, 1, 0])
+        cnt = contention_vector(g, state)
+        assert cnt[2] == 0.0  # no in-neighbors at all
+        assert cnt[1] == 0.0  # in-neighbor exists but neutral
+
+    def test_contention_measures_deviation(self):
+        g = DiGraph(3, [(0, 2), (1, 2)])
+        state = NetworkState([1, 1, -1])
+        cnt = contention_vector(g, state)
+        assert cnt[2] == pytest.approx(2.0)  # -1 vs mean(+1, +1)
+
+    def test_agreeing_neighborhood_zero(self):
+        g = DiGraph(2, [(0, 1)])
+        state = NetworkState([1, 1])
+        assert contention_vector(g, state)[1] == 0.0
+
+    def test_walk_distance_normalised(self):
+        g = DiGraph(3, [(0, 2), (1, 2)])
+        a = NetworkState([1, 1, -1])
+        b = NetworkState([1, 1, 1])
+        # cnt(a)[2] = 2, cnt(b)[2] = 0 -> |2 - 0| / 3.
+        assert walk_distance(g, a, b) == pytest.approx(2.0 / 3.0)
+
+    def test_identical_states_zero(self):
+        g = erdos_renyi_graph(12, 0.3, seed=1)
+        s = NetworkState.from_active_sets(12, positive=[0, 3], negative=[5])
+        assert walk_distance(g, s, s) == 0.0
+
+
+class TestRegistry:
+    def test_default_lineup(self):
+        names = default_registry().names()
+        assert names == ["hamming", "l1", "quad-form", "snd", "walk-dist"]
+
+    def test_compute_and_series(self):
+        g = erdos_renyi_graph(15, 0.3, seed=2)
+        registry = default_registry()
+        context = DistanceContext(graph=g)
+        a = NetworkState.from_active_sets(15, positive=[0])
+        b = NetworkState.from_active_sets(15, positive=[0, 1])
+        assert registry.compute("hamming", a, b, context) == 1.0
+        series = StateSeries([a, b, a])
+        values = registry.series("hamming", series, context)
+        assert values.tolist() == [1.0, 1.0]
+
+    def test_snd_uses_shared_context(self):
+        g = erdos_renyi_graph(15, 0.3, seed=2)
+        registry = default_registry()
+        context = DistanceContext(graph=g)
+        context.ensure_snd(n_clusters=2, seed=0)
+        a = NetworkState.from_active_sets(15, positive=[0])
+        b = NetworkState.from_active_sets(15, positive=[1])
+        assert registry.compute("snd", a, b, context) > 0
+
+    def test_unknown_measure(self):
+        registry = default_registry()
+        with pytest.raises(ValidationError):
+            registry.get("euclidean-ish")
+
+    def test_duplicate_registration_rejected(self):
+        registry = DistanceRegistry()
+        registry.register("x", lambda p, q, c: 0.0)
+        with pytest.raises(ValidationError):
+            registry.register("x", lambda p, q, c: 1.0)

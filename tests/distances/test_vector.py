@@ -1,0 +1,97 @@
+"""Tests for coordinate-wise baseline distances."""
+
+import numpy as np
+import pytest
+
+from repro.distances.vector import (
+    canberra_distance,
+    chebyshev_distance,
+    cosine_distance,
+    hamming_distance,
+    kl_divergence,
+    l1_distance,
+    l2_distance,
+    lp_distance,
+)
+from repro.exceptions import ValidationError
+from repro.opinions.state import NetworkState
+
+
+class TestHamming:
+    def test_counts_differences(self):
+        assert hamming_distance([1, 0, -1], [1, 1, 1]) == 2.0
+
+    def test_zero_for_identical(self):
+        assert hamming_distance([1, 0], [1, 0]) == 0.0
+
+    def test_accepts_states(self, tri_state):
+        other = tri_state.with_opinions([0], -1)
+        assert hamming_distance(tri_state, other) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            hamming_distance([1], [1, 0])
+
+
+class TestLp:
+    def test_l1(self):
+        assert l1_distance([1, -1, 0], [0, 1, 0]) == 3.0
+
+    def test_l2(self):
+        assert l2_distance([1, 0], [0, 0]) == 1.0
+        assert l2_distance([1, -1], [-1, 1]) == pytest.approx(np.sqrt(8))
+
+    def test_lp_general(self):
+        assert lp_distance([2, 0], [0, 0], order=1) == 2.0
+        assert lp_distance([2, 0], [0, 0], order=3) == pytest.approx(2.0)
+
+    def test_lp_order_validated(self):
+        with pytest.raises(ValidationError):
+            lp_distance([1], [0], order=0.5)
+
+    def test_l1_vs_hamming_on_polar(self):
+        # For ±1 flips l1 counts 2 per flip, hamming 1.
+        a, b = [1, 1], [-1, 1]
+        assert l1_distance(a, b) == 2 * hamming_distance(a, b)
+
+
+class TestCosine:
+    def test_parallel_zero(self):
+        assert cosine_distance([1, 1, 0], [2, 2, 0]) == pytest.approx(0.0)
+
+    def test_orthogonal_one(self):
+        assert cosine_distance([1, 0], [0, 1]) == pytest.approx(1.0)
+
+    def test_opposite_two(self):
+        assert cosine_distance([1, 0], [-1, 0]) == pytest.approx(2.0)
+
+    def test_zero_vector_conventions(self):
+        assert cosine_distance([0, 0], [0, 0]) == 0.0
+        assert cosine_distance([0, 0], [1, 0]) == 1.0
+
+
+class TestCanberraChebyshev:
+    def test_canberra(self):
+        assert canberra_distance([1, 0], [0, 0]) == pytest.approx(1.0)
+        assert canberra_distance([1, -1], [1, 1]) == pytest.approx(1.0)
+
+    def test_canberra_zero_terms_skipped(self):
+        assert canberra_distance([0, 0], [0, 0]) == 0.0
+
+    def test_chebyshev(self):
+        assert chebyshev_distance([1, -1, 0], [1, 1, 0]) == 2.0
+        assert chebyshev_distance([], []) == 0.0
+
+
+class TestKl:
+    def test_zero_for_identical(self):
+        assert kl_divergence([1, 0, -1], [1, 0, -1]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_symmetric(self):
+        a, b = [1, 0, -1, 0], [0, 1, 0, -1]
+        assert kl_divergence(a, b) == pytest.approx(kl_divergence(b, a))
+
+    def test_positive_for_different(self):
+        # Note [1, 1] vs [-1, -1] normalise to the SAME distribution (KL
+        # sees shape, not level) — use a shape difference instead.
+        assert kl_divergence([1, -1], [1, 1]) > 0

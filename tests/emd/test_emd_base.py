@@ -1,0 +1,98 @@
+"""Tests for classic EMD (Rubner) and its metric properties (Theorem 1)."""
+
+import numpy as np
+import pytest
+
+from repro.emd.base import emd, emd_raw_cost
+from repro.exceptions import HistogramError, ValidationError
+
+
+def metric_from_points(points: np.ndarray) -> np.ndarray:
+    """Euclidean distance matrix — always a metric."""
+    diff = points[:, None, :] - points[None, :, :]
+    return np.sqrt((diff**2).sum(axis=2))
+
+
+class TestBasics:
+    def test_identical_histograms_zero(self):
+        p = np.array([1.0, 2.0, 3.0])
+        d = metric_from_points(np.arange(3, dtype=float)[:, None])
+        assert emd(p, p, d) == pytest.approx(0.0)
+
+    def test_single_bin_shift(self):
+        # All mass moves one bin over at ground distance 1.
+        d = metric_from_points(np.arange(2, dtype=float)[:, None])
+        assert emd([1.0, 0.0], [0.0, 1.0], d) == pytest.approx(1.0)
+
+    def test_normalisation_by_moved_mass(self):
+        d = metric_from_points(np.arange(2, dtype=float)[:, None])
+        # 5 units over distance 1: raw cost 5, EMD (mean cost) 1.
+        assert emd([5.0, 0.0], [0.0, 5.0], d) == pytest.approx(1.0)
+        assert emd_raw_cost([5.0, 0.0], [0.0, 5.0], d) == pytest.approx(5.0)
+
+    def test_mass_mismatch_ignored(self):
+        # Classic EMD moves min mass only: heavy P, light Q.
+        d = metric_from_points(np.arange(2, dtype=float)[:, None])
+        assert emd([10.0, 0.0], [0.0, 1.0], d) == pytest.approx(1.0)
+
+    def test_empty_histogram_convention(self):
+        d = np.zeros((2, 2))
+        assert emd([0.0, 0.0], [1.0, 1.0], d) == 0.0
+
+    def test_rectangular_ground_distance(self):
+        d = np.array([[1.0, 2.0, 3.0]])
+        assert emd([2.0], [1.0, 1.0, 0.0], d) == pytest.approx(1.5)
+
+    def test_negative_mass_rejected(self):
+        with pytest.raises(ValidationError):
+            emd([-1.0], [1.0], np.zeros((1, 1)))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(HistogramError):
+            emd([1.0, 2.0], [1.0], np.zeros((3, 3)))
+
+    def test_return_plan(self):
+        d = metric_from_points(np.arange(2, dtype=float)[:, None])
+        value, plan = emd([1.0, 0.0], [0.0, 1.0], d, return_plan=True)
+        assert value == pytest.approx(1.0)
+        assert plan.flows[0, 1] == pytest.approx(1.0)
+
+
+class TestMetricProperties:
+    """Theorem 1: EMD is a metric on equal-mass histograms over metric D."""
+
+    @pytest.fixture
+    def setup(self):
+        rng = np.random.default_rng(3)
+        points = rng.uniform(0, 10, size=(5, 2))
+        d = metric_from_points(points)
+        def hist():
+            h = rng.integers(0, 5, 5).astype(float)
+            h[0] += 1  # avoid empty histograms
+            return h * (60.0 / h.sum())  # common total mass
+        return d, hist
+
+    def test_symmetry(self, setup):
+        d, hist = setup
+        for _ in range(5):
+            p, q = hist(), hist()
+            assert emd(p, q, d) == pytest.approx(emd(q, p, d.T), abs=1e-9)
+
+    def test_identity_of_indiscernibles(self, setup):
+        d, hist = setup
+        p = hist()
+        assert emd(p, p, d) == pytest.approx(0.0, abs=1e-9)
+
+    def test_triangle_inequality(self, setup):
+        d, hist = setup
+        for _ in range(10):
+            p, q, r = hist(), hist(), hist()
+            pq = emd(p, q, d)
+            qr = emd(q, r, d)
+            pr = emd(p, r, d)
+            assert pr <= pq + qr + 1e-7
+
+    def test_nonnegativity(self, setup):
+        d, hist = setup
+        for _ in range(5):
+            assert emd(hist(), hist(), d) >= 0.0

@@ -1,0 +1,110 @@
+"""Theorem 2: EMDα(P, Q, D) == EMD̂(P, Q, D) whenever both are metric
+(D metric, α >= 0.5) — including a hypothesis-driven property test.
+
+Also verifies Corollary 1: padding equal-mass histograms with an arbitrary
+equal bank does not change EMD.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.emd.base import emd
+from repro.emd.emd_alpha import emd_alpha, extend_with_global_bank
+from repro.emd.emd_hat import emd_hat
+
+
+def metric_from_points(points: np.ndarray) -> np.ndarray:
+    diff = points[:, None, :] - points[None, :, :]
+    return np.sqrt((diff**2).sum(axis=2))
+
+
+def random_metric(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Random metric via shortest-path closure of a random cost matrix."""
+    raw = rng.uniform(1, 10, size=(n, n))
+    raw = (raw + raw.T) / 2
+    np.fill_diagonal(raw, 0.0)
+    # Floyd-Warshall closure makes it satisfy the triangle inequality.
+    d = raw.copy()
+    for k in range(n):
+        d = np.minimum(d, d[:, [k]] + d[[k], :])
+    return d
+
+
+class TestTheorem2:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_equality_random_instances(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 7))
+        d = random_metric(rng, n)
+        p = rng.integers(0, 8, n).astype(float)
+        q = rng.integers(0, 8, n).astype(float)
+        alpha = float(rng.uniform(0.5, 2.0))
+        assert emd_alpha(p, q, d, alpha=alpha) == pytest.approx(
+            emd_hat(p, q, d, alpha=alpha), abs=1e-7
+        )
+
+    def test_equality_with_mass_mismatch(self):
+        rng = np.random.default_rng(42)
+        d = random_metric(rng, 4)
+        p = np.array([5.0, 0.0, 2.0, 0.0])
+        q = np.array([0.0, 1.0, 0.0, 0.0])  # much lighter
+        assert emd_alpha(p, q, d, alpha=0.5) == pytest.approx(
+            emd_hat(p, q, d, alpha=0.5), abs=1e-7
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(2, 5),
+        alpha_times_ten=st.integers(5, 30),
+    )
+    def test_equality_property(self, seed, n, alpha_times_ten):
+        rng = np.random.default_rng(seed)
+        d = random_metric(rng, n)
+        p = rng.integers(0, 10, n).astype(float)
+        q = rng.integers(0, 10, n).astype(float)
+        alpha = alpha_times_ten / 10.0
+        assert emd_alpha(p, q, d, alpha=alpha) == pytest.approx(
+            emd_hat(p, q, d, alpha=alpha), abs=1e-7
+        )
+
+    def test_below_half_alpha_can_differ(self):
+        # With alpha < 0.5 the bank becomes a cheap shortcut and the
+        # equivalence breaks: EMDα <= EMD̂ with strict inequality possible.
+        d = np.array([[0.0, 10.0], [10.0, 0.0]])
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        alpha = 0.1
+        assert emd_alpha(p, q, d, alpha=alpha) < emd_hat(p, q, d, alpha=alpha)
+
+
+class TestExtension:
+    def test_extended_masses_equal(self):
+        p = np.array([3.0, 1.0])
+        q = np.array([0.5, 0.5])
+        d = np.array([[0.0, 1.0], [1.0, 0.0]])
+        p_ext, q_ext, d_ext = extend_with_global_bank(p, q, d, alpha=0.5)
+        assert p_ext.sum() == pytest.approx(q_ext.sum())
+        assert d_ext.shape == (3, 3)
+        assert d_ext[2, 2] == 0.0
+        assert d_ext[0, 2] == pytest.approx(0.5 * d.max())
+
+
+class TestCorollary1:
+    @pytest.mark.parametrize("k", [0.0, 1.0, 7.5])
+    def test_bank_padding_invariant(self, k):
+        rng = np.random.default_rng(9)
+        d = random_metric(rng, 4)
+        p = rng.integers(1, 6, 4).astype(float)
+        q = rng.integers(1, 6, 4).astype(float)
+        q = q * (p.sum() / q.sum())  # equal total masses
+        omega = 0.5 * d.max()
+        d_ext = np.full((5, 5), omega)
+        d_ext[:4, :4] = d
+        d_ext[4, 4] = 0.0
+        base = emd(p, q, d)
+        padded = emd(np.append(p, k), np.append(q, k), d_ext)
+        # EMD normalises by moved mass; compare raw costs instead.
+        assert base * p.sum() == pytest.approx(padded * (p.sum() + k), abs=1e-7)

@@ -1,0 +1,65 @@
+"""Tests for the Sinkhorn approximate transportation solver."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FlowError
+from repro.flow import TransportationProblem, solve_transportation_lp
+from repro.flow.sinkhorn import solve_transportation_sinkhorn
+
+
+def random_problem(seed, n=5, m=5, balanced=True):
+    rng = np.random.default_rng(seed)
+    supplies = rng.integers(1, 10, n).astype(float)
+    demands = rng.integers(1, 10, m).astype(float)
+    if balanced:
+        demands = demands * (supplies.sum() / demands.sum())
+    costs = rng.integers(1, 15, (n, m)).astype(float)
+    return TransportationProblem(supplies, demands, costs)
+
+
+class TestSinkhorn:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_upper_bounds_exact_within_margin(self, seed):
+        problem = random_problem(seed)
+        exact = solve_transportation_lp(problem).cost
+        approx = solve_transportation_sinkhorn(problem, epsilon=0.02).cost
+        assert approx >= exact - 1e-6  # upper bound (regularised optimum)
+        assert approx <= exact * 1.15 + 1e-6  # but close
+
+    def test_tightens_with_smaller_epsilon(self):
+        problem = random_problem(7)
+        exact = solve_transportation_lp(problem).cost
+        loose = solve_transportation_sinkhorn(problem, epsilon=0.5).cost
+        tight = solve_transportation_sinkhorn(problem, epsilon=0.01).cost
+        assert abs(tight - exact) <= abs(loose - exact) + 1e-9
+
+    def test_marginals_respected(self):
+        problem = random_problem(3)
+        plan = solve_transportation_sinkhorn(problem, epsilon=0.05)
+        assert np.allclose(plan.flows.sum(axis=1), problem.supplies, atol=1e-4)
+        assert np.allclose(plan.flows.sum(axis=0), problem.demands, atol=1e-4)
+
+    def test_unbalanced_problem_handled(self):
+        problem = TransportationProblem(
+            np.array([5.0, 3.0]), np.array([4.0]), np.array([[2.0], [1.0]])
+        )
+        plan = solve_transportation_sinkhorn(problem, epsilon=0.02)
+        exact = solve_transportation_lp(problem).cost
+        assert plan.cost == pytest.approx(exact, rel=0.15)
+
+    def test_zero_mass(self):
+        problem = TransportationProblem(np.zeros(2), np.zeros(2), np.ones((2, 2)))
+        assert solve_transportation_sinkhorn(problem).cost == 0.0
+
+    def test_empty_bins_tolerated(self):
+        problem = TransportationProblem(
+            np.array([0.0, 4.0]), np.array([4.0, 0.0]), np.arange(4.0).reshape(2, 2)
+        )
+        plan = solve_transportation_sinkhorn(problem, epsilon=0.02)
+        exact = solve_transportation_lp(problem).cost
+        assert plan.cost == pytest.approx(exact, rel=0.1)
+
+    def test_bad_epsilon(self):
+        with pytest.raises(FlowError):
+            solve_transportation_sinkhorn(random_problem(0), epsilon=0.0)

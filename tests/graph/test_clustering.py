@@ -1,0 +1,110 @@
+"""Tests for clustering (bank-bin partitions and LP communities)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ClusteringError
+from repro.graph.clustering import (
+    balanced_bfs_partition,
+    greedy_modularity_communities,
+    label_propagation_communities,
+    modularity,
+    partition_from_labels,
+    validate_partition,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import planted_partition_graph, two_cluster_graph
+
+
+class TestPartitionHelpers:
+    def test_partition_from_labels(self):
+        clusters = partition_from_labels(np.array([2, 0, 2, 1]))
+        as_sets = [set(c.tolist()) for c in clusters]
+        assert {0, 2} in as_sets and {1} in as_sets and {3} in as_sets
+
+    def test_validate_accepts_partition(self):
+        validate_partition([np.array([0, 1]), np.array([2])], 3)
+
+    def test_validate_rejects_overlap(self):
+        with pytest.raises(ClusteringError):
+            validate_partition([np.array([0, 1]), np.array([1, 2])], 3)
+
+    def test_validate_rejects_incomplete(self):
+        with pytest.raises(ClusteringError):
+            validate_partition([np.array([0])], 3)
+
+    def test_validate_rejects_empty_cluster(self):
+        with pytest.raises(ClusteringError):
+            validate_partition([np.array([0, 1, 2]), np.array([], dtype=int)], 3)
+
+    def test_validate_rejects_out_of_range(self):
+        with pytest.raises(ClusteringError):
+            validate_partition([np.array([0, 5])], 3)
+
+
+class TestBalancedBfsPartition:
+    def test_is_partition(self):
+        g, *_ = two_cluster_graph(15, seed=0)
+        clusters = balanced_bfs_partition(g, 4, seed=1)
+        validate_partition(clusters, g.num_nodes)
+
+    def test_roughly_balanced(self):
+        g, *_ = two_cluster_graph(20, seed=2)
+        clusters = balanced_bfs_partition(g, 4, seed=1)
+        sizes = [len(c) for c in clusters]
+        assert max(sizes) <= 3 * min(sizes)
+
+    def test_handles_disconnected(self):
+        g = DiGraph(6, [(0, 1), (1, 2), (3, 4)])  # node 5 isolated
+        clusters = balanced_bfs_partition(g, 2, seed=0)
+        validate_partition(clusters, 6)
+
+    def test_single_cluster(self):
+        g, *_ = two_cluster_graph(5, seed=0)
+        clusters = balanced_bfs_partition(g, 1, seed=0)
+        assert len(clusters) == 1
+        assert len(clusters[0]) == g.num_nodes
+
+    def test_too_many_clusters_rejected(self):
+        g = DiGraph(3, [(0, 1)])
+        with pytest.raises(ClusteringError):
+            balanced_bfs_partition(g, 5)
+
+
+class TestLabelPropagation:
+    def test_recovers_planted_partition(self):
+        g, truth = planted_partition_graph([15, 15], 0.6, 0.02, seed=0)
+        labels = label_propagation_communities(g, seed=0)
+        # Communities should align with the planted blocks (up to renaming):
+        # most pairs in the same block share a label.
+        same_block = truth[:, None] == truth[None, :]
+        same_label = labels[:, None] == labels[None, :]
+        agreement = (same_block == same_label).mean()
+        assert agreement > 0.8
+
+    def test_labels_compacted(self):
+        g, _ = planted_partition_graph([10, 10], 0.5, 0.05, seed=1)
+        labels = label_propagation_communities(g, seed=1)
+        uniq = np.unique(labels)
+        assert uniq.tolist() == list(range(len(uniq)))
+
+    def test_isolated_nodes_keep_own_label(self):
+        g = DiGraph(3, [(0, 1)])
+        labels = label_propagation_communities(g, seed=0)
+        assert labels[2] not in (labels[0],)
+
+
+class TestModularity:
+    def test_good_partition_beats_random(self):
+        g, truth = planted_partition_graph([12, 12], 0.6, 0.05, seed=3)
+        rng = np.random.default_rng(0)
+        random_labels = rng.integers(0, 2, size=g.num_nodes)
+        assert modularity(g, truth) > modularity(g, random_labels)
+
+    def test_empty_graph(self):
+        assert modularity(DiGraph(3), np.zeros(3)) == 0.0
+
+    def test_greedy_modularity_two_blocks(self):
+        g, truth = planted_partition_graph([10, 10], 0.7, 0.02, seed=4)
+        labels = greedy_modularity_communities(g)
+        assert modularity(g, labels) > 0.2

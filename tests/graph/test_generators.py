@@ -1,0 +1,145 @@
+"""Tests for the random graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    planted_partition_graph,
+    powerlaw_configuration_graph,
+    powerlaw_degree_sequence,
+    star_graph,
+    two_cluster_graph,
+    watts_strogatz_graph,
+)
+from repro.graph.traversal import is_weakly_connected
+
+
+class TestErdosRenyi:
+    def test_edge_density_close_to_p(self):
+        n, p = 200, 0.1
+        g = erdos_renyi_graph(n, p, seed=0)
+        expected = p * n * (n - 1)  # bidirected counts both directions
+        assert 0.7 * expected < g.num_edges < 1.3 * expected
+
+    def test_p_zero_gives_empty(self):
+        assert erdos_renyi_graph(50, 0.0, seed=1).num_edges == 0
+
+    def test_p_one_gives_complete(self):
+        g = erdos_renyi_graph(10, 1.0, seed=1, directed=True)
+        assert g.num_edges == 10 * 9
+
+    def test_deterministic_under_seed(self):
+        a = erdos_renyi_graph(40, 0.2, seed=5)
+        b = erdos_renyi_graph(40, 0.2, seed=5)
+        assert a == b
+
+    def test_undirected_is_symmetric(self):
+        g = erdos_renyi_graph(30, 0.2, seed=2)
+        for u, v, _ in g.edges():
+            assert g.has_edge(v, u)
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ValidationError):
+            erdos_renyi_graph(10, 1.5)
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        g = barabasi_albert_graph(100, 3, seed=0)
+        # (n - m) new nodes each add m undirected edges -> 2m(n-m) directed.
+        assert g.num_edges == 2 * 3 * 97
+
+    def test_m_ge_n_rejected(self):
+        with pytest.raises(ValidationError):
+            barabasi_albert_graph(3, 3)
+
+    def test_heavy_tail(self):
+        g = barabasi_albert_graph(300, 2, seed=1)
+        degrees = g.out_degrees()
+        assert degrees.max() > 4 * degrees.mean()
+
+    def test_directed_mode(self):
+        g = barabasi_albert_graph(50, 2, seed=3, directed=True)
+        assert g.num_edges == 2 * 48
+
+
+class TestPowerlawConfiguration:
+    def test_degree_sequence_even_sum(self):
+        degrees = powerlaw_degree_sequence(101, -2.3, seed=0)
+        assert degrees.sum() % 2 == 0
+        assert degrees.min() >= 1
+
+    def test_negative_exponent_required(self):
+        with pytest.raises(ValidationError):
+            powerlaw_degree_sequence(10, 2.3)
+
+    def test_graph_size(self):
+        g = powerlaw_configuration_graph(500, -2.3, seed=0)
+        assert g.num_nodes == 500
+        assert g.num_edges > 0
+
+    @pytest.mark.parametrize("exponent", [-2.9, -2.5, -2.1])
+    def test_paper_exponent_range(self, exponent):
+        g = powerlaw_configuration_graph(300, exponent, k_min=2, seed=1)
+        assert g.num_nodes == 300
+        degrees = g.out_degrees()
+        # Heavier tails for shallower exponents; just sanity-check spread.
+        assert degrees.max() >= degrees.mean()
+
+    def test_deterministic_under_seed(self):
+        a = powerlaw_configuration_graph(100, -2.3, seed=9)
+        b = powerlaw_configuration_graph(100, -2.3, seed=9)
+        assert a == b
+
+
+class TestWattsStrogatz:
+    def test_degree_regular_at_beta_zero(self):
+        g = watts_strogatz_graph(20, 4, 0.0, seed=0)
+        assert np.all(g.out_degrees() == 4)
+
+    def test_rewiring_preserves_edge_count(self):
+        g0 = watts_strogatz_graph(30, 4, 0.0, seed=1)
+        g1 = watts_strogatz_graph(30, 4, 0.5, seed=1)
+        assert g0.num_edges == g1.num_edges
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValidationError):
+            watts_strogatz_graph(10, 3, 0.1)
+
+
+class TestPlantedPartition:
+    def test_labels_and_homophily(self):
+        g, labels = planted_partition_graph([20, 20], 0.5, 0.02, seed=0)
+        assert g.num_nodes == 40
+        edge_arr = g.edge_array()
+        same = labels[edge_arr[:, 0]] == labels[edge_arr[:, 1]]
+        assert same.mean() > 0.8
+
+
+class TestTwoCluster:
+    def test_structure(self):
+        g, labels, bridges = two_cluster_graph(10, n_bridges=3, seed=0)
+        assert g.num_nodes == 20
+        assert (labels == 0).sum() == 10
+        assert len(bridges) == 3
+        for u, v in bridges:
+            assert labels[u] == 0 and labels[v] == 1
+            assert g.has_edge(u, v)
+
+    def test_connected(self):
+        g, *_ = two_cluster_graph(8, seed=1)
+        assert is_weakly_connected(g)
+
+
+class TestStar:
+    def test_center_out(self):
+        g = star_graph(5)
+        assert g.out_degrees()[0] == 4
+        assert g.in_degrees()[0] == 0
+
+    def test_center_in(self):
+        g = star_graph(5, center_out=False)
+        assert g.in_degrees()[0] == 4

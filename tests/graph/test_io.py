@@ -1,0 +1,62 @@
+"""Tests for graph serialisation."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import erdos_renyi_graph
+from repro.graph.io import load_npz, read_edgelist, save_npz, write_edgelist
+
+
+class TestEdgelist:
+    def test_roundtrip_unweighted(self, tmp_path):
+        g = erdos_renyi_graph(20, 0.2, seed=0)
+        path = tmp_path / "g.edges"
+        write_edgelist(g, path)
+        assert read_edgelist(path) == g
+
+    def test_roundtrip_weighted(self, tmp_path):
+        g = DiGraph(3, [(0, 1), (1, 2)], weights=[0.5, 2.25])
+        path = tmp_path / "g.edges"
+        write_edgelist(g, path, weights=True)
+        back = read_edgelist(path)
+        assert back.edge_weight(0, 1) == 0.5
+        assert back.edge_weight(1, 2) == 2.25
+
+    def test_header_preserves_isolated_nodes(self, tmp_path):
+        g = DiGraph(10, [(0, 1)])
+        path = tmp_path / "g.edges"
+        write_edgelist(g, path)
+        assert read_edgelist(path).num_nodes == 10
+
+    def test_missing_header_infers_count(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("0 1\n3 2\n")
+        g = read_edgelist(path)
+        assert g.num_nodes == 4
+        assert g.num_edges == 2
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("0 1 2 3\n")
+        with pytest.raises(GraphError):
+            read_edgelist(path)
+
+    def test_blank_lines_and_comments_skipped(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("# a comment\n\n0 1\n")
+        assert read_edgelist(path).num_edges == 1
+
+
+class TestNpz:
+    def test_roundtrip(self, tmp_path):
+        g = erdos_renyi_graph(30, 0.15, seed=1)
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        assert load_npz(path) == g
+
+    def test_weights_preserved(self, tmp_path):
+        g = DiGraph(2, [(0, 1)], weights=[3.5])
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        assert load_npz(path).edge_weight(0, 1) == 3.5

@@ -1,0 +1,67 @@
+"""Tests for Laplacian construction."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import erdos_renyi_graph
+from repro.graph.laplacian import (
+    laplacian_matrix,
+    normalized_laplacian_matrix,
+    quadratic_form,
+)
+
+
+class TestLaplacian:
+    def test_row_sums_zero(self):
+        g = erdos_renyi_graph(20, 0.3, seed=0)
+        lap = laplacian_matrix(g, dense=True)
+        assert np.allclose(lap.sum(axis=1), 0.0)
+
+    def test_symmetric(self):
+        g = DiGraph(3, [(0, 1), (1, 2)])  # directed; Laplacian symmetrises
+        lap = laplacian_matrix(g, dense=True)
+        assert np.allclose(lap, lap.T)
+
+    def test_matches_networkx(self):
+        nx = pytest.importorskip("networkx")
+        g = erdos_renyi_graph(15, 0.3, seed=1)
+        lap = laplacian_matrix(g, dense=True)
+        nxg = nx.Graph(g.to_networkx().to_undirected())
+        expected = nx.laplacian_matrix(nxg, nodelist=range(15)).todense()
+        assert np.allclose(lap, expected)
+
+    def test_quadratic_form_counts_cut_edges(self):
+        # x^T L x = sum over undirected edges of (x_u - x_v)^2.
+        g = DiGraph.from_undirected_edges(4, [(0, 1), (1, 2), (2, 3)])
+        lap = laplacian_matrix(g)
+        x = np.array([1.0, 1.0, 0.0, 0.0])
+        assert quadratic_form(lap, x) == pytest.approx(1.0)
+
+    def test_quadratic_form_nonnegative(self):
+        g = erdos_renyi_graph(25, 0.2, seed=2)
+        lap = laplacian_matrix(g)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            x = rng.normal(size=25)
+            assert quadratic_form(lap, x) >= 0.0
+
+    def test_quadratic_form_shape_mismatch(self):
+        g = DiGraph(3, [(0, 1)])
+        with pytest.raises(ValidationError):
+            quadratic_form(laplacian_matrix(g), np.zeros(5))
+
+
+class TestNormalizedLaplacian:
+    def test_eigenvalues_bounded(self):
+        g = erdos_renyi_graph(20, 0.3, seed=3)
+        lap = normalized_laplacian_matrix(g, dense=True)
+        eigenvalues = np.linalg.eigvalsh(lap)
+        assert eigenvalues.min() >= -1e-9
+        assert eigenvalues.max() <= 2.0 + 1e-9
+
+    def test_isolated_nodes_zero_rows(self):
+        g = DiGraph(3, [(0, 1), (1, 0)])
+        lap = normalized_laplacian_matrix(g, dense=True)
+        assert np.allclose(lap[2], [0, 0, 1.0])  # I - 0 on the diagonal

@@ -1,0 +1,85 @@
+"""Tests for structural graph statistics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    erdos_renyi_graph,
+    powerlaw_configuration_graph,
+    powerlaw_degree_sequence,
+    star_graph,
+)
+from repro.graph.metrics import (
+    clustering_coefficient,
+    degree_assortativity,
+    degree_statistics,
+    powerlaw_alpha_mle,
+)
+
+
+class TestDegreeStatistics:
+    def test_star(self):
+        stats = degree_statistics(star_graph(11))
+        assert stats["max"] == 10
+        assert stats["min"] == 1
+        assert stats["mean"] == pytest.approx(2 * 10 / 11)
+
+    def test_empty(self):
+        stats = degree_statistics(DiGraph(0))
+        assert stats["mean"] == 0.0
+
+
+class TestPowerlawMle:
+    def test_recovers_generator_exponent(self):
+        # Degrees drawn with P(k) ~ k^-2.5 must fit back near 2.5.
+        degrees = powerlaw_degree_sequence(20_000, -2.5, k_min=2, k_max=500, seed=0)
+        alpha = powerlaw_alpha_mle(degrees, k_min=2)
+        assert alpha == pytest.approx(2.5, abs=0.25)
+
+    @pytest.mark.parametrize("exponent", [-2.1, -2.9])
+    def test_orders_exponents(self, exponent):
+        degrees = powerlaw_degree_sequence(10_000, exponent, k_min=2, k_max=300, seed=1)
+        alpha = powerlaw_alpha_mle(degrees, k_min=2)
+        assert alpha == pytest.approx(-exponent, abs=0.4)
+
+    def test_empty_tail_rejected(self):
+        with pytest.raises(ValidationError):
+            powerlaw_alpha_mle([1, 1, 1], k_min=5)
+
+
+class TestClusteringCoefficient:
+    def test_triangle(self):
+        g = DiGraph.from_undirected_edges(3, [(0, 1), (1, 2), (0, 2)])
+        assert clustering_coefficient(g) == pytest.approx(1.0)
+
+    def test_star_is_zero(self):
+        g = star_graph(6).to_undirected()
+        assert clustering_coefficient(g) == 0.0
+
+    def test_matches_networkx(self):
+        nx = pytest.importorskip("networkx")
+        g = erdos_renyi_graph(40, 0.2, seed=3)
+        ours = clustering_coefficient(g)
+        theirs = nx.average_clustering(nx.Graph(g.to_networkx().to_undirected()))
+        assert ours == pytest.approx(theirs, abs=1e-9)
+
+    def test_sampled_close_to_full(self):
+        g = erdos_renyi_graph(80, 0.1, seed=4)
+        full = clustering_coefficient(g)
+        sampled = clustering_coefficient(g, sample=60, seed=0)
+        assert sampled == pytest.approx(full, abs=0.1)
+
+
+class TestAssortativity:
+    def test_star_disassortative(self):
+        assert degree_assortativity(star_graph(10)) < 0
+
+    def test_no_edges(self):
+        assert degree_assortativity(DiGraph(5)) == 0.0
+
+    def test_powerlaw_graphs_computable(self):
+        g = powerlaw_configuration_graph(500, -2.3, k_min=2, seed=0)
+        value = degree_assortativity(g)
+        assert -1.0 <= value <= 1.0

@@ -1,0 +1,92 @@
+"""Tests for BFS and connectivity."""
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import erdos_renyi_graph
+from repro.graph.traversal import (
+    bfs_distances,
+    bfs_tree,
+    estimate_diameter,
+    is_weakly_connected,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+
+
+class TestBfs:
+    def test_line_distances(self, line_graph):
+        assert bfs_distances(line_graph, 0).tolist() == [0, 1, 2, 3]
+
+    def test_unreachable_marked(self, line_graph):
+        # Directed path: nothing reaches node 0 from node 3.
+        assert bfs_distances(line_graph, 3).tolist() == [-1, -1, -1, 0]
+
+    def test_multi_source(self, line_graph):
+        dist = bfs_distances(line_graph, [0, 3])
+        assert dist.tolist() == [0, 1, 2, 0]
+
+    def test_tree_predecessors(self, line_graph):
+        pred = bfs_tree(line_graph, 0)
+        assert pred.tolist() == [-1, 0, 1, 2]
+
+    def test_agrees_with_networkx(self):
+        nx = pytest.importorskip("networkx")
+        g = erdos_renyi_graph(40, 0.1, seed=11, directed=True)
+        nxg = g.to_networkx()
+        ours = bfs_distances(g, 0)
+        theirs = nx.single_source_shortest_path_length(nxg, 0)
+        for v in range(40):
+            expected = theirs.get(v, -1)
+            assert ours[v] == expected
+
+
+class TestComponents:
+    def test_weak_components(self):
+        g = DiGraph(5, [(0, 1), (2, 3)])
+        labels = weakly_connected_components(g)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2] != labels[4]
+
+    def test_weak_ignores_direction(self):
+        g = DiGraph(3, [(0, 1), (2, 1)])
+        labels = weakly_connected_components(g)
+        assert len(np.unique(labels)) == 1
+
+    def test_strong_components_cycle(self):
+        g = DiGraph(4, [(0, 1), (1, 2), (2, 0), (2, 3)])
+        labels = strongly_connected_components(g)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] != labels[0]
+
+    def test_strong_components_dag(self, line_graph):
+        labels = strongly_connected_components(line_graph)
+        assert len(np.unique(labels)) == 4
+
+    def test_strong_agrees_with_networkx(self):
+        nx = pytest.importorskip("networkx")
+        g = erdos_renyi_graph(40, 0.06, seed=3, directed=True)
+        ours = strongly_connected_components(g)
+        theirs = list(nx.strongly_connected_components(g.to_networkx()))
+        assert len(np.unique(ours)) == len(theirs)
+        for comp in theirs:
+            comp = sorted(comp)
+            assert len({ours[v] for v in comp}) == 1
+
+    def test_is_weakly_connected(self):
+        assert is_weakly_connected(DiGraph(3, [(0, 1), (1, 2)]))
+        assert not is_weakly_connected(DiGraph(3, [(0, 1)]))
+        assert is_weakly_connected(DiGraph(0))
+
+
+class TestDiameter:
+    def test_line_diameter(self):
+        g = DiGraph.from_undirected_edges(5, [(i, i + 1) for i in range(4)])
+        assert estimate_diameter(g, seed=0) == 4
+
+    def test_lower_bound_property(self):
+        g = erdos_renyi_graph(30, 0.2, seed=4)
+        est = estimate_diameter(g, seed=0)
+        assert est >= 1

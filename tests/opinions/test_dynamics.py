@@ -1,0 +1,139 @@
+"""Tests for the §6.1 synthetic evolution process."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.graph.generators import erdos_renyi_graph, star_graph
+from repro.opinions.dynamics import (
+    evolve_state,
+    generate_series,
+    random_transition,
+    seed_state,
+)
+from repro.opinions.state import NetworkState
+
+
+class TestSeedState:
+    def test_counts_and_balance(self):
+        g = erdos_renyi_graph(100, 0.05, seed=0)
+        state = seed_state(g, 40, seed=1)
+        assert state.n_active == 40
+        assert abs(state.n_positive - 20) <= 1
+
+    def test_unbalanced_seeding(self):
+        g = erdos_renyi_graph(50, 0.05, seed=0)
+        state = seed_state(g, 10, balance=1.0, seed=1)
+        assert state.n_positive == 10
+        assert state.n_negative == 0
+
+    def test_too_many_adopters(self):
+        g = star_graph(3)
+        with pytest.raises(ModelError):
+            seed_state(g, 10)
+
+    def test_deterministic(self):
+        g = erdos_renyi_graph(60, 0.1, seed=2)
+        assert seed_state(g, 20, seed=3) == seed_state(g, 20, seed=3)
+
+
+class TestEvolveState:
+    def test_active_users_never_change(self):
+        g = erdos_renyi_graph(80, 0.1, seed=1)
+        state = seed_state(g, 30, seed=0)
+        out = evolve_state(g, state, p_nbr=0.5, p_ext=0.3, seed=2)
+        active = state.active_users()
+        assert np.array_equal(out.values[active], state.values[active])
+
+    def test_activation_monotone(self):
+        g = erdos_renyi_graph(80, 0.1, seed=1)
+        state = seed_state(g, 20, seed=0)
+        out = evolve_state(g, state, p_nbr=0.3, p_ext=0.1, seed=2)
+        assert out.n_active >= state.n_active
+
+    def test_zero_probabilities_noop(self):
+        g = erdos_renyi_graph(40, 0.1, seed=1)
+        state = seed_state(g, 10, seed=0)
+        assert evolve_state(g, state, p_nbr=0.0, p_ext=0.0, seed=2) == state
+
+    def test_probability_sum_checked(self):
+        g = star_graph(4)
+        state = NetworkState.neutral(4)
+        with pytest.raises(ModelError):
+            evolve_state(g, state, p_nbr=0.7, p_ext=0.6)
+
+    def test_neighbor_adoption_follows_neighborhood(self):
+        # Hub with "+" opinion influencing all leaves: with p_ext = 0,
+        # any activated leaf must be "+".
+        g = star_graph(30)
+        state = NetworkState.from_active_sets(30, positive=[0])
+        out = evolve_state(g, state, p_nbr=1.0, p_ext=0.0, seed=3)
+        new = np.setdiff1d(out.active_users(), state.active_users())
+        assert new.size > 0
+        assert np.all(out.values[new] == 1)
+
+    def test_no_active_neighbors_stays_neutral(self):
+        # Leaves influence the hub; leaves have no in-neighbors.
+        g = star_graph(10, center_out=False)
+        state = NetworkState.from_active_sets(10, positive=[0])  # hub active
+        out = evolve_state(g, state, p_nbr=1.0, p_ext=0.0, seed=4)
+        assert out == state  # hub's opinion cannot reach the leaves
+
+    def test_external_adoption_ignores_structure(self):
+        g = star_graph(10, center_out=False)
+        state = NetworkState.neutral(10)
+        out = evolve_state(g, state, p_nbr=0.0, p_ext=1.0, seed=5)
+        assert out.n_active == 10
+
+    def test_candidate_fraction_limits_volume(self):
+        g = erdos_renyi_graph(200, 0.05, seed=1)
+        state = NetworkState.neutral(200)
+        out = evolve_state(
+            g, state, p_nbr=0.0, p_ext=1.0, candidate_fraction=0.1, seed=6
+        )
+        assert out.n_active == 20
+
+
+class TestGenerateSeries:
+    def test_length_and_labels(self):
+        g = erdos_renyi_graph(60, 0.1, seed=1)
+        series = generate_series(
+            g, 6, n_seeds=10, p_nbr=0.2, p_ext=0.05, anomalous={3}, seed=0
+        )
+        assert len(series) == 6
+        assert series.labels[3] == "anomalous"
+        assert series.labels[1] == "normal"
+
+    def test_anomalous_defaults_preserve_sum(self):
+        g = erdos_renyi_graph(40, 0.1, seed=1)
+        series = generate_series(
+            g, 4, n_seeds=5, p_nbr=0.12, p_ext=0.01, anomalous={2}, seed=0
+        )
+        assert len(series) == 4  # defaults computed without error
+
+    def test_deterministic(self):
+        g = erdos_renyi_graph(50, 0.1, seed=2)
+        a = generate_series(g, 5, n_seeds=8, p_nbr=0.2, p_ext=0.02, seed=9)
+        b = generate_series(g, 5, n_seeds=8, p_nbr=0.2, p_ext=0.02, seed=9)
+        assert all(x == y for x, y in zip(a, b))
+
+
+class TestRandomTransition:
+    def test_exact_activation_count(self):
+        g = erdos_renyi_graph(50, 0.1, seed=0)
+        state = seed_state(g, 10, seed=1)
+        out = random_transition(g, state, 15, seed=2)
+        assert out.n_active == 25
+
+    def test_caps_at_available_neutral(self):
+        g = star_graph(5)
+        state = NetworkState([1, 1, 1, 1, 0])
+        out = random_transition(g, state, 10, seed=0)
+        assert out.n_active == 5
+
+    def test_preserves_existing(self):
+        g = erdos_renyi_graph(30, 0.1, seed=0)
+        state = seed_state(g, 10, seed=1)
+        out = random_transition(g, state, 5, seed=3)
+        active = state.active_users()
+        assert np.array_equal(out.values[active], state.values[active])

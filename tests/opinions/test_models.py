@@ -1,0 +1,210 @@
+"""Tests for the three opinion models: spreading penalties + simulators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import erdos_renyi_graph
+from repro.opinions.models.independent_cascade import IndependentCascadeModel
+from repro.opinions.models.linear_threshold import LinearThresholdModel
+from repro.opinions.models.model_agnostic import ModelAgnostic
+from repro.opinions.state import NetworkState
+
+
+def edge_penalty(graph, penalties, u, v):
+    """Look up a per-edge penalty by endpoints."""
+    lo, hi = graph.out_edge_range(u)
+    row = graph.indices[lo:hi]
+    pos = int(np.searchsorted(row, v))
+    assert row[pos] == v
+    return penalties[lo + pos]
+
+
+class TestModelAgnostic:
+    @pytest.fixture
+    def setup(self):
+        # 0 -> 1, 2 -> 1, 3 -> 1 with spreaders +, 0, - and neutral target.
+        g = DiGraph(5, [(0, 1), (2, 1), (3, 1), (0, 4)])
+        state = NetworkState([1, 0, 0, -1, -1])
+        return g, state, ModelAgnostic(1.0, 2.0, 8.0)
+
+    def test_friendly_neutral_adverse(self, setup):
+        g, state, model = setup
+        pen = model.spreading_penalties(g, state, 1)
+        assert edge_penalty(g, pen, 0, 1) == 1.0  # friendly spreader
+        assert edge_penalty(g, pen, 2, 1) == 2.0  # neutral spreader
+        assert edge_penalty(g, pen, 3, 1) == 8.0  # adverse spreader
+
+    def test_adverse_receiver_dominates(self, setup):
+        g, state, model = setup
+        pen = model.spreading_penalties(g, state, 1)
+        # 0 -> 4: friendly spreader but the receiver holds "-": adverse.
+        assert edge_penalty(g, pen, 0, 4) == 8.0
+
+    def test_opinion_symmetry(self, setup):
+        g, state, model = setup
+        pen_neg = model.spreading_penalties(g, state, -1)
+        assert edge_penalty(g, pen_neg, 3, 1) == 1.0  # "-" spreader friendly for op=-1
+        assert edge_penalty(g, pen_neg, 0, 1) == 8.0  # "+" spreader adverse
+
+    def test_ordering_enforced(self):
+        with pytest.raises(ModelError):
+            ModelAgnostic(3.0, 2.0, 8.0)
+        with pytest.raises(ModelError):
+            ModelAgnostic(1.0, 1.0, 8.0)
+
+    def test_invalid_opinion_rejected(self, setup):
+        g, state, model = setup
+        with pytest.raises(ModelError):
+            model.spreading_penalties(g, state, 0)
+
+    def test_no_simulation(self, setup):
+        g, state, model = setup
+        assert not model.supports_simulation()
+        with pytest.raises(NotImplementedError):
+            model.step(g, state, np.random.default_rng(0))
+
+
+class TestIndependentCascade:
+    def test_mutual_adopters_zero_penalty(self):
+        g = DiGraph(2, [(0, 1)])
+        state = NetworkState([1, 1])
+        model = IndependentCascadeModel(activation_prob=0.5)
+        pen = model.spreading_penalties(g, state, 1)
+        assert pen[0] == pytest.approx(0.0)  # -log 1
+
+    def test_frontier_edge_uses_probability_share(self):
+        # Two active "+" users both adjacent to a neutral target at equal
+        # distance: each gets p_uv / p^a(v) with p^a = sum of both.
+        g = DiGraph(3, [(0, 2), (1, 2)])
+        state = NetworkState([1, 1, 0])
+        eps = 1e-4
+        model = IndependentCascadeModel(activation_prob=0.4, epsilon=eps)
+        pen = model.spreading_penalties(g, state, 1)
+        expected = -np.log((0.4 - eps) / 0.8)
+        assert pen[0] == pytest.approx(expected)
+        assert pen[1] == pytest.approx(expected)
+
+    def test_farther_activator_gets_epsilon(self):
+        # Edge distances: user 0 is closer to target than user 1.
+        g = DiGraph(3, [(0, 2), (1, 2)])
+        state = NetworkState([1, 1, 0])
+        model = IndependentCascadeModel(
+            activation_prob=0.4, edge_distance=np.array([1.0, 5.0]), epsilon=1e-4
+        )
+        pen = model.spreading_penalties(g, state, 1)
+        assert pen[1] == pytest.approx(-np.log(1e-4))
+
+    def test_adverse_edge_epsilon(self):
+        g = DiGraph(2, [(0, 1)])
+        state = NetworkState([-1, 0])
+        model = IndependentCascadeModel(epsilon=1e-3)
+        pen = model.spreading_penalties(g, state, 1)
+        assert pen[0] == pytest.approx(-np.log(1e-3))
+
+    def test_epsilon_bounds(self):
+        with pytest.raises(ModelError):
+            IndependentCascadeModel(epsilon=0.0)
+        with pytest.raises(ModelError):
+            IndependentCascadeModel(epsilon=1.0)
+
+    def test_bad_probability_rejected(self):
+        g = DiGraph(2, [(0, 1)])
+        model = IndependentCascadeModel(activation_prob=1.5)
+        with pytest.raises(ModelError):
+            model.spreading_penalties(g, NetworkState([1, 0]), 1)
+
+    def test_step_activates_only_neutral(self):
+        g = DiGraph(3, [(0, 1), (0, 2)])
+        state = NetworkState([1, -1, 0])
+        model = IndependentCascadeModel(activation_prob=1.0)
+        out = model.simulate(g, state, rounds=1, seed=0)
+        assert out[0] == 1 and out[1] == -1  # active users never change
+        assert out[2] == 1  # deterministic: only "+" attempts
+
+    def test_step_probability_zero_is_noop(self):
+        g = erdos_renyi_graph(20, 0.2, seed=0)
+        state = NetworkState.from_active_sets(20, positive=[0], negative=[1])
+        model = IndependentCascadeModel(activation_prob=0.0)
+        assert model.simulate(g, state, rounds=3, seed=1) == state
+
+    def test_step_deterministic_under_seed(self):
+        g = erdos_renyi_graph(30, 0.2, seed=1)
+        state = NetworkState.from_active_sets(30, positive=[0, 1], negative=[2])
+        model = IndependentCascadeModel(activation_prob=0.5)
+        a = model.simulate(g, state, rounds=2, seed=42)
+        b = model.simulate(g, state, rounds=2, seed=42)
+        assert a == b
+
+    def test_competition_tie_break(self):
+        # A neutral user pulled by both sides adopts one of them.
+        g = DiGraph(3, [(0, 2), (1, 2)])
+        state = NetworkState([1, -1, 0])
+        model = IndependentCascadeModel(activation_prob=1.0)
+        outcomes = {
+            model.simulate(g, state, rounds=1, seed=s)[2] for s in range(20)
+        }
+        assert outcomes <= {1, -1}
+        assert len(outcomes) == 2  # both opinions win sometimes
+
+
+class TestLinearThreshold:
+    def test_mutual_adopters_zero_penalty(self):
+        g = DiGraph(2, [(0, 1)])
+        state = NetworkState([1, 1])
+        model = LinearThresholdModel()
+        pen = model.spreading_penalties(g, state, 1)
+        assert pen[0] == pytest.approx(0.0)
+
+    def test_frontier_share(self):
+        g = DiGraph(3, [(0, 2), (1, 2)])
+        state = NetworkState([1, 1, 0])
+        eps = 1e-4
+        model = LinearThresholdModel(weights=1.0, thresholds=0.5, epsilon=eps)
+        pen = model.spreading_penalties(g, state, 1)
+        expected = -np.log((1 - eps) * 1.0 / 2.0)
+        assert pen[0] == pytest.approx(expected)
+
+    def test_below_threshold_epsilon(self):
+        g = DiGraph(2, [(0, 1)])
+        state = NetworkState([1, 0])
+        model = LinearThresholdModel(weights=0.3, thresholds=0.9, epsilon=1e-3)
+        pen = model.spreading_penalties(g, state, 1)
+        assert pen[0] == pytest.approx(-np.log(1e-3))
+
+    def test_inactive_source_epsilon(self):
+        g = DiGraph(3, [(0, 2), (1, 2)])
+        state = NetworkState([0, 1, 0])
+        model = LinearThresholdModel(epsilon=1e-4)
+        pen = model.spreading_penalties(g, state, 1)
+        assert pen[0] == pytest.approx(-np.log(1e-4))
+
+    def test_step_threshold_gate(self):
+        g = DiGraph(3, [(0, 2), (1, 2)])
+        state = NetworkState([1, 1, 0])
+        low = LinearThresholdModel(weights=1.0, thresholds=1.5)
+        high = LinearThresholdModel(weights=1.0, thresholds=5.0)
+        assert low.simulate(g, state, rounds=1, seed=0)[2] == 1
+        assert high.simulate(g, state, rounds=1, seed=0)[2] == 0
+
+    def test_step_weighted_majority(self):
+        # Two "+" vs one "-" in-neighbor with equal weights: "+" wins more
+        # often under the probabilistic vote.
+        g = DiGraph(4, [(0, 3), (1, 3), (2, 3)])
+        state = NetworkState([1, 1, -1, 0])
+        model = LinearThresholdModel(weights=1.0, thresholds=0.5)
+        outcomes = [model.simulate(g, state, rounds=1, seed=s)[3] for s in range(60)]
+        assert np.mean([o == 1 for o in outcomes]) > 0.5
+
+    def test_bad_threshold_spec(self):
+        g = DiGraph(2, [(0, 1)])
+        model = LinearThresholdModel(thresholds="bogus")
+        with pytest.raises(ModelError):
+            model.spreading_penalties(g, NetworkState([1, 0]), 1)
+
+    def test_random_thresholds_default_half(self):
+        g = DiGraph(2, [(0, 1)])
+        model = LinearThresholdModel(thresholds="random")
+        theta = model._node_thresholds(g)
+        assert np.allclose(theta, 0.5)

@@ -1,0 +1,146 @@
+"""Tests for NetworkState and StateSeries."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StateError
+from repro.opinions.state import NEGATIVE, NEUTRAL, POSITIVE, NetworkState, StateSeries
+
+
+class TestConstruction:
+    def test_valid_values(self):
+        s = NetworkState([1, 0, -1, 0])
+        assert s.n == 4
+        assert s[0] == POSITIVE and s[2] == NEGATIVE and s[1] == NEUTRAL
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(StateError):
+            NetworkState([0, 2, 0])
+
+    def test_matrix_rejected(self):
+        with pytest.raises(StateError):
+            NetworkState(np.zeros((2, 2)))
+
+    def test_neutral_factory(self):
+        s = NetworkState.neutral(5)
+        assert s.n == 5
+        assert s.n_active == 0
+
+    def test_from_active_sets(self):
+        s = NetworkState.from_active_sets(6, positive=[0, 2], negative=[5])
+        assert s.users_with(POSITIVE).tolist() == [0, 2]
+        assert s.users_with(NEGATIVE).tolist() == [5]
+
+    def test_from_active_sets_conflict(self):
+        with pytest.raises(StateError):
+            NetworkState.from_active_sets(4, positive=[1], negative=[1])
+
+    def test_immutability(self):
+        s = NetworkState([1, 0])
+        with pytest.raises(ValueError):
+            s.values[0] = -1
+
+
+class TestCountsAndHistograms:
+    def test_counts(self, tri_state):
+        assert tri_state.n_positive == 2
+        assert tri_state.n_negative == 2
+        assert tri_state.n_active == 4
+
+    def test_active_users(self, tri_state):
+        assert tri_state.active_users().tolist() == [0, 1, 3, 5]
+
+    def test_positive_histogram_treats_negative_as_neutral(self, tri_state):
+        h = tri_state.positive_histogram()
+        assert h.sum() == 2
+        assert h[0] == 1.0 and h[1] == 0.0  # user 1 is negative
+
+    def test_negative_histogram(self, tri_state):
+        h = tri_state.negative_histogram()
+        assert h.sum() == 2
+        assert h[1] == 1.0 and h[5] == 1.0
+
+    def test_histogram_dispatch(self, tri_state):
+        assert np.array_equal(tri_state.histogram(1), tri_state.positive_histogram())
+        assert np.array_equal(tri_state.histogram(-1), tri_state.negative_histogram())
+        with pytest.raises(StateError):
+            tri_state.histogram(0)
+
+
+class TestComparisonModification:
+    def test_changed_users(self):
+        a = NetworkState([1, 0, -1])
+        b = NetworkState([1, 1, 0])
+        assert a.changed_users(b).tolist() == [1, 2]
+        assert a.n_delta(b) == 2
+
+    def test_changed_users_length_mismatch(self):
+        with pytest.raises(StateError):
+            NetworkState([1]).changed_users(NetworkState([1, 0]))
+
+    def test_with_opinions_returns_new(self):
+        a = NetworkState([0, 0, 0])
+        b = a.with_opinions([1], 1)
+        assert a.n_active == 0
+        assert b[1] == 1
+
+    def test_with_neutralized(self, tri_state):
+        hidden = tri_state.with_neutralized([0, 1])
+        assert hidden[0] == 0 and hidden[1] == 0
+        assert hidden.n_active == tri_state.n_active - 2
+
+    def test_equality_and_hash(self):
+        a = NetworkState([1, 0])
+        b = NetworkState([1, 0])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != NetworkState([0, 1])
+
+
+class TestStateSeries:
+    def make_series(self, t=4, n=5):
+        rng = np.random.default_rng(0)
+        return StateSeries(
+            [NetworkState(rng.choice([-1, 0, 1], n)) for _ in range(t)]
+        )
+
+    def test_length_and_iteration(self):
+        series = self.make_series(4)
+        assert len(series) == 4
+        assert sum(1 for _ in series) == 4
+
+    def test_mismatched_sizes_rejected(self):
+        with pytest.raises(StateError):
+            StateSeries([NetworkState([1]), NetworkState([1, 0])])
+
+    def test_empty_rejected(self):
+        with pytest.raises(StateError):
+            StateSeries([])
+
+    def test_label_count_checked(self):
+        with pytest.raises(StateError):
+            StateSeries([NetworkState([0])], labels=["a", "b"])
+
+    def test_slicing_preserves_labels(self):
+        series = StateSeries(
+            [NetworkState([0]), NetworkState([1]), NetworkState([-1])],
+            labels=["a", "b", "c"],
+        )
+        sliced = series[1:]
+        assert len(sliced) == 2
+        assert sliced.labels == ["b", "c"]
+
+    def test_matrix_roundtrip(self):
+        series = self.make_series(3, 6)
+        back = StateSeries.from_matrix(series.to_matrix())
+        assert all(x == y for x, y in zip(series, back))
+
+    def test_transitions(self):
+        series = self.make_series(4)
+        pairs = list(series.transitions())
+        assert len(pairs) == 3
+        assert pairs[0][0] == series[0]
+
+    def test_activation_counts(self):
+        series = StateSeries([NetworkState([0, 0]), NetworkState([1, -1])])
+        assert series.activation_counts().tolist() == [0, 2]

@@ -1,0 +1,68 @@
+"""Bellman-Ford and Johnson all-pairs tests."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import erdos_renyi_graph
+from repro.shortestpath.bellman_ford import bellman_ford
+from repro.shortestpath.dijkstra import dijkstra
+from repro.shortestpath.johnson import johnson_all_pairs
+
+
+class TestBellmanFord:
+    def test_matches_dijkstra_on_nonnegative(self):
+        g = erdos_renyi_graph(30, 0.15, seed=0, directed=True)
+        w = np.random.default_rng(1).integers(1, 10, g.num_edges).astype(float)
+        assert np.allclose(bellman_ford(g, 0, weights=w), dijkstra(g, 0, weights=w))
+
+    def test_negative_edges(self):
+        g = DiGraph(3, [(0, 1), (1, 2), (0, 2)], weights=[4.0, -2.0, 3.0])
+        dist = bellman_ford(g, 0)
+        assert dist.tolist() == [0, 4, 2]
+
+    def test_negative_cycle_detected(self):
+        g = DiGraph(3, [(0, 1), (1, 2), (2, 0)], weights=[1.0, -3.0, 1.0])
+        with pytest.raises(GraphError):
+            bellman_ford(g, 0)
+
+    def test_unreachable_negative_cycle_ignored(self):
+        g = DiGraph(4, [(0, 1), (2, 3), (3, 2)], weights=[1.0, -2.0, -2.0])
+        dist = bellman_ford(g, 0)
+        assert dist[1] == 1.0
+
+
+class TestJohnson:
+    def test_matches_per_source_dijkstra(self):
+        g = erdos_renyi_graph(20, 0.2, seed=3, directed=True)
+        w = np.random.default_rng(2).integers(1, 8, g.num_edges).astype(float)
+        ap = johnson_all_pairs(g, weights=w)
+        for s in (0, 5, 13):
+            assert np.allclose(ap[s], dijkstra(g, s, weights=w))
+
+    def test_negative_edges_match_networkx(self):
+        nx = pytest.importorskip("networkx")
+        g = DiGraph(
+            4,
+            [(0, 1), (1, 2), (0, 2), (2, 3)],
+            weights=[2.0, -1.0, 4.0, 1.0],
+        )
+        ours = johnson_all_pairs(g)
+        paths = dict(nx.johnson(g.to_networkx(), weight="weight"))
+        nxg = g.to_networkx()
+        for s in range(4):
+            for t in range(4):
+                if t in paths.get(s, {}):
+                    expected = nx.path_weight(nxg, paths[s][t], "weight")
+                    assert ours[s, t] == pytest.approx(expected)
+                else:
+                    assert ours[s, t] == np.inf
+
+    def test_diagonal_zero(self):
+        g = erdos_renyi_graph(12, 0.3, seed=4)
+        ap = johnson_all_pairs(g)
+        assert np.allclose(np.diag(ap), 0.0)
+
+    def test_empty_graph(self):
+        assert johnson_all_pairs(DiGraph(0)).shape == (0, 0)

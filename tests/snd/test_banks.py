@@ -1,0 +1,97 @@
+"""Tests for bank allocation strategies."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.graph.generators import erdos_renyi_graph, two_cluster_graph
+from repro.snd.banks import BankAllocation, allocate_banks
+
+
+class TestBankAllocation:
+    def test_global_strategy(self):
+        g = erdos_renyi_graph(20, 0.2, seed=0)
+        banks = allocate_banks(g, strategy="global")
+        assert banks.n_clusters == 1
+        assert len(banks.clusters[0]) == 20
+
+    def test_per_bin_strategy(self):
+        g = erdos_renyi_graph(10, 0.2, seed=0)
+        banks = allocate_banks(g, strategy="per-bin")
+        assert banks.n_clusters == 10
+        assert all(len(c) == 1 for c in banks.clusters)
+
+    def test_cluster_strategy_partition(self):
+        g, *_ = two_cluster_graph(15, seed=1)
+        banks = allocate_banks(g, strategy="cluster", n_clusters=4, seed=0)
+        banks.validate(g.num_nodes)
+        assert banks.n_clusters == 4
+
+    def test_default_cluster_count(self):
+        g = erdos_renyi_graph(100, 0.05, seed=0)
+        banks = allocate_banks(g, seed=0)
+        assert banks.n_clusters >= 2
+
+    def test_unknown_strategy(self):
+        g = erdos_renyi_graph(5, 0.5, seed=0)
+        with pytest.raises(ValidationError):
+            allocate_banks(g, strategy="quantum")
+
+    def test_gamma_override(self):
+        g = erdos_renyi_graph(10, 0.3, seed=0)
+        banks = allocate_banks(g, strategy="global", gamma=7.0)
+        assert banks.gammas[0][0] == 7.0
+
+    def test_multiple_banks_geometric_ladder(self):
+        g = erdos_renyi_graph(10, 0.3, seed=0)
+        banks = allocate_banks(g, strategy="global", n_banks=3, gamma=2.0)
+        assert banks.gammas[0].tolist() == [2.0, 4.0, 8.0]
+
+    def test_safe_gamma_respects_threshold(self):
+        """γ must be >= half the intra-cluster ground diameter (Thm. 3)."""
+        from repro.snd.direct import dense_ground_distance
+        from repro.snd.ground import GroundDistanceConfig
+        from repro.opinions.models.model_agnostic import ModelAgnostic
+        from repro.opinions.state import NetworkState
+
+        g, *_ = two_cluster_graph(8, seed=2)
+        max_cost = 16
+        banks = allocate_banks(g, strategy="cluster", n_clusters=2, max_cost=max_cost, seed=0)
+        config = GroundDistanceConfig(model=ModelAgnostic(), max_cost=max_cost)
+        dense = dense_ground_distance(
+            g, NetworkState.neutral(g.num_nodes), 1, config=config
+        )
+        for members, gammas in zip(banks.clusters, banks.gammas):
+            members = np.asarray(members)
+            diameter = dense[np.ix_(members, members)].max()
+            assert gammas[0] >= 0.5 * diameter
+
+    def test_cluster_of_lookup(self):
+        g = erdos_renyi_graph(12, 0.3, seed=0)
+        banks = allocate_banks(g, strategy="cluster", n_clusters=3, seed=0)
+        lookup = banks.cluster_of(12)
+        for ci, members in enumerate(banks.clusters):
+            assert np.all(lookup[np.asarray(members)] == ci)
+
+    def test_gamma_matrix_shape(self):
+        g = erdos_renyi_graph(12, 0.3, seed=0)
+        banks = allocate_banks(g, strategy="cluster", n_clusters=3, n_banks=2, seed=0)
+        assert banks.gamma_matrix().shape == (3, 2)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValidationError):
+            BankAllocation(clusters=(np.array([0]),), gammas=(), n_banks=1)
+        with pytest.raises(ValidationError):
+            BankAllocation(
+                clusters=(np.array([0]),), gammas=(np.array([1.0, 2.0]),), n_banks=1
+            )
+        with pytest.raises(ValidationError):
+            BankAllocation(
+                clusters=(np.array([0]),), gammas=(np.array([-1.0]),), n_banks=1
+            )
+
+    def test_empty_graph_rejected(self):
+        from repro.graph.digraph import DiGraph
+
+        with pytest.raises(ValidationError):
+            allocate_banks(DiGraph(0))

@@ -1,0 +1,141 @@
+"""The central correctness invariant: the Theorem 4 reduced pipeline equals
+the direct (unreduced) computation, exactly, across random instances.
+
+This is what makes the linear-time claim meaningful — the fast path is a
+lossless reduction, not an approximation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import erdos_renyi_graph, powerlaw_configuration_graph
+from repro.opinions.models.independent_cascade import IndependentCascadeModel
+from repro.opinions.models.linear_threshold import LinearThresholdModel
+from repro.opinions.models.model_agnostic import ModelAgnostic
+from repro.opinions.state import NetworkState
+from repro.snd import SND, allocate_banks, snd_direct
+from repro.snd.fast import FastTermStats
+
+
+def random_states(rng, n, change_fraction=0.2):
+    vals = rng.choice(np.array([-1, 0, 0, 1], dtype=np.int8), size=n)
+    vals2 = vals.copy()
+    flip = rng.choice(n, size=max(1, int(n * change_fraction)), replace=False)
+    vals2[flip] = rng.choice(np.array([-1, 0, 1], dtype=np.int8), size=flip.size)
+    return NetworkState(vals), NetworkState(vals2)
+
+
+@pytest.mark.parametrize("strategy", ["cluster", "global", "per-bin"])
+@pytest.mark.parametrize("bank_shares", ["mass", "size"])
+def test_fast_equals_direct_over_strategies(strategy, bank_shares):
+    rng = np.random.default_rng(hash((strategy, bank_shares)) % 2**32)
+    g = erdos_renyi_graph(25, 0.15, seed=int(rng.integers(1e6)))
+    banks = allocate_banks(g, strategy=strategy, n_clusters=3, seed=0)
+    a, b = random_states(rng, 25)
+    fast = SND(g, banks=banks, bank_shares=bank_shares).distance(a, b)
+    direct = snd_direct(g, a, b, banks=banks, bank_shares=bank_shares)
+    assert fast == pytest.approx(direct, abs=1e-7)
+
+
+@pytest.mark.parametrize(
+    "model_factory",
+    [
+        lambda: ModelAgnostic(),
+        lambda: IndependentCascadeModel(activation_prob=0.4),
+        lambda: LinearThresholdModel(weights=1.0, thresholds=0.5),
+    ],
+    ids=["agnostic", "icc", "ltc"],
+)
+def test_fast_equals_direct_over_models(model_factory):
+    rng = np.random.default_rng(99)
+    g = erdos_renyi_graph(30, 0.12, seed=4, directed=True)
+    banks = allocate_banks(g, n_clusters=3, seed=1)
+    a, b = random_states(rng, 30)
+    model = model_factory()
+    fast = SND(g, model, banks=banks).distance(a, b)
+    direct = snd_direct(g, a, b, model=model, banks=banks)
+    assert fast == pytest.approx(direct, abs=1e-7)
+
+
+def test_fast_equals_direct_multiple_banks():
+    rng = np.random.default_rng(5)
+    g = erdos_renyi_graph(20, 0.2, seed=5)
+    banks = allocate_banks(g, n_clusters=2, n_banks=3, seed=2)
+    a, b = random_states(rng, 20)
+    fast = SND(g, banks=banks).distance(a, b)
+    direct = snd_direct(g, a, b, banks=banks)
+    assert fast == pytest.approx(direct, abs=1e-7)
+
+
+def test_fast_equals_direct_disconnected_graph():
+    """Unreachable pairs exercise the clamp consistency between paths."""
+    from repro.graph.digraph import DiGraph
+
+    rng = np.random.default_rng(6)
+    # Two components, no edges between them.
+    edges = [(0, 1), (1, 2), (2, 0), (4, 5), (5, 6)]
+    g = DiGraph(8, edges)  # nodes 3 and 7 fully isolated
+    banks = allocate_banks(g, strategy="global", seed=0)
+    a = NetworkState([1, 0, 0, 0, -1, 0, 0, 0])
+    b = NetworkState([0, 1, 0, 1, 0, -1, 0, -1])
+    fast = SND(g, banks=banks).distance(a, b)
+    direct = snd_direct(g, a, b, banks=banks)
+    assert fast == pytest.approx(direct, abs=1e-6)
+
+
+def test_fast_equals_direct_extreme_mismatch():
+    """One empty state: everything routes through banks."""
+    g = erdos_renyi_graph(15, 0.25, seed=8)
+    banks = allocate_banks(g, n_clusters=2, seed=3)
+    empty = NetworkState.neutral(15)
+    full = NetworkState.from_active_sets(15, positive=[0, 1, 2], negative=[5, 6])
+    fast = SND(g, banks=banks).distance(empty, full)
+    direct = snd_direct(g, empty, full, banks=banks)
+    assert fast > 0
+    assert fast == pytest.approx(direct, abs=1e-7)
+
+
+def test_fast_equals_direct_cluster_bank_metric_per_bin():
+    """Under per-bin banks, cluster-level and nearest-member bank metrics
+    coincide, so the literal Eq. 4 variant is exactly reproducible too."""
+    rng = np.random.default_rng(31)
+    g = erdos_renyi_graph(15, 0.25, seed=11)
+    banks = allocate_banks(g, strategy="per-bin", seed=0)
+    a, b = random_states(rng, 15)
+    fast = SND(g, banks=banks, bank_metric="cluster").distance(a, b)
+    direct = snd_direct(g, a, b, banks=banks, bank_metric="cluster")
+    assert fast == pytest.approx(direct, abs=1e-7)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_fast_equals_direct_property(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(10, 40))
+    g = erdos_renyi_graph(
+        n, 0.15, seed=int(rng.integers(1e6)), directed=bool(rng.integers(2))
+    )
+    banks = allocate_banks(
+        g, n_clusters=int(rng.integers(2, 5)), seed=int(rng.integers(1e6))
+    )
+    a, b = random_states(rng, n, change_fraction=float(rng.uniform(0.05, 0.5)))
+    fast = SND(g, banks=banks).distance(a, b)
+    direct = snd_direct(g, a, b, banks=banks)
+    assert fast == pytest.approx(direct, abs=1e-6)
+
+
+def test_stats_reflect_reduction():
+    """The pipeline must touch only the changed users (Assumption 1)."""
+    g = powerlaw_configuration_graph(100, -2.3, k_min=2, seed=0)
+    banks = allocate_banks(g, n_clusters=3, seed=0)
+    snd = SND(g, banks=banks)
+    base = NetworkState.from_active_sets(100, positive=list(range(10)))
+    changed = base.with_opinions([50, 51], 1)  # n_delta = 2
+    result = snd.evaluate(base, changed)
+    pos_stats: FastTermStats = result.stats[0]
+    assert pos_stats.n_suppliers + pos_stats.n_consumers <= 2
+    assert pos_stats.n_sssp_runs <= 2
+    # Negative terms see no change at all.
+    assert result.stats[1].cost == 0.0

@@ -1,0 +1,136 @@
+"""Tests for ground-distance construction and Assumption-2 quantization."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GroundDistanceError, QuantizationError
+from repro.graph.digraph import DiGraph
+from repro.opinions.models.model_agnostic import ModelAgnostic
+from repro.opinions.state import NetworkState
+from repro.snd.ground import (
+    GroundDistanceConfig,
+    build_edge_costs,
+    quantize_costs,
+    unreachable_cost,
+)
+
+
+class TestQuantization:
+    def test_integers_pass_through(self):
+        costs = np.array([1.0, 5.0, 64.0])
+        out = quantize_costs(costs, max_cost=64)
+        assert out.tolist() == [1, 5, 64]
+        assert out.dtype == np.int64
+
+    def test_reals_scaled_to_bound(self):
+        costs = np.array([0.5, 1.0, 2.0])
+        out = quantize_costs(costs, max_cost=8)
+        assert out.max() == 8
+        assert out.min() >= 1
+        # Ratios preserved up to rounding: 2.0 / 0.5 = 4.
+        assert out[2] / out[0] == pytest.approx(4.0, rel=0.3)
+
+    def test_floor_at_one(self):
+        costs = np.array([1e-9, 100.0])
+        out = quantize_costs(costs, max_cost=10)
+        assert out[0] == 1
+
+    def test_over_bound_rescaled(self):
+        costs = np.array([10.0, 1000.0])
+        out = quantize_costs(costs, max_cost=64)
+        assert out.max() == 64
+
+    def test_all_zero(self):
+        out = quantize_costs(np.zeros(3), max_cost=5)
+        assert out.tolist() == [1, 1, 1]
+
+    def test_empty(self):
+        assert quantize_costs(np.array([])).size == 0
+
+    def test_infinite_rejected(self):
+        with pytest.raises(QuantizationError):
+            quantize_costs(np.array([1.0, np.inf]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(QuantizationError):
+            quantize_costs(np.array([-1.0]))
+
+    def test_bad_bound_rejected(self):
+        with pytest.raises(QuantizationError):
+            quantize_costs(np.array([1.0]), max_cost=0)
+
+    def test_unreachable_strictly_above_paths(self):
+        # Max finite path cost is U * (n - 1); the clamp must exceed it.
+        assert unreachable_cost(10, 64) > 64 * 9
+
+
+class TestBuildEdgeCosts:
+    @pytest.fixture
+    def setup(self):
+        g = DiGraph(3, [(0, 1), (1, 2)])
+        state = NetworkState([1, 0, 0])
+        return g, state
+
+    def test_default_composition(self, setup):
+        g, state = setup
+        costs = build_edge_costs(g, state, 1, ModelAgnostic(1, 2, 8))
+        # comm (1) + in (0) + out: friendly spreader edge 0->1, neutral 1->2.
+        assert costs.tolist() == [2.0, 3.0]
+
+    def test_communication_penalties(self, setup):
+        g, state = setup
+        costs = build_edge_costs(
+            g, state, 1, ModelAgnostic(1, 2, 8),
+            communication_penalties=np.array([5.0, 5.0]),
+        )
+        assert costs.tolist() == [6.0, 7.0]
+
+    def test_adoption_penalties_apply_to_target(self, setup):
+        g, state = setup
+        costs = build_edge_costs(
+            g, state, 1, ModelAgnostic(1, 2, 8),
+            adoption_penalties=np.array([0.0, 10.0, 0.0]),
+        )
+        # Edge 0 -> 1 targets node 1 (+10); edge 1 -> 2 targets node 2 (+0).
+        assert costs.tolist() == [12.0, 3.0]
+
+    def test_quantize_produces_integers(self, setup):
+        g, state = setup
+        costs = build_edge_costs(
+            g, state, 1, ModelAgnostic(0.5, 1.7, 8.1), max_cost=32
+        )
+        assert np.allclose(costs, np.round(costs))
+        assert costs.max() <= 32
+
+    def test_quantize_disabled(self, setup):
+        g, state = setup
+        costs = build_edge_costs(
+            g, state, 1, ModelAgnostic(0.5, 1.7, 8.1), quantize=False
+        )
+        assert costs.tolist() == [1.5, 2.7]
+
+    def test_state_size_checked(self):
+        g = DiGraph(3, [(0, 1)])
+        with pytest.raises(GroundDistanceError):
+            build_edge_costs(g, NetworkState([1, 0]), 1, ModelAgnostic())
+
+    def test_misaligned_penalties_rejected(self, setup):
+        g, state = setup
+        with pytest.raises(GroundDistanceError):
+            build_edge_costs(
+                g, state, 1, ModelAgnostic(),
+                communication_penalties=np.ones(5),
+            )
+        with pytest.raises(GroundDistanceError):
+            build_edge_costs(
+                g, state, 1, ModelAgnostic(),
+                adoption_penalties=np.ones(7),
+            )
+
+    def test_config_wrapper(self, setup):
+        g, state = setup
+        config = GroundDistanceConfig(model=ModelAgnostic(1, 2, 8))
+        assert np.array_equal(
+            config.edge_costs(g, state, 1),
+            build_edge_costs(g, state, 1, ModelAgnostic(1, 2, 8)),
+        )

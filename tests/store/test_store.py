@@ -1,0 +1,102 @@
+"""Tests for the SQLite experiment store."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StoreError
+from repro.graph.generators import erdos_renyi_graph
+from repro.opinions.state import NetworkState, StateSeries
+from repro.store import ExperimentStore
+
+
+@pytest.fixture
+def store():
+    with ExperimentStore(":memory:") as s:
+        yield s
+
+
+@pytest.fixture
+def graph():
+    return erdos_renyi_graph(20, 0.2, seed=0)
+
+
+class TestGraphs:
+    def test_roundtrip(self, store, graph):
+        store.save_graph("g", graph)
+        assert store.load_graph("g") == graph
+
+    def test_missing_graph(self, store):
+        with pytest.raises(StoreError):
+            store.load_graph("nope")
+
+    def test_replace(self, store, graph):
+        store.save_graph("g", graph)
+        other = erdos_renyi_graph(10, 0.3, seed=1)
+        store.save_graph("g", other)
+        assert store.load_graph("g") == other
+
+    def test_list(self, store, graph):
+        store.save_graph("a", graph)
+        store.save_graph("b", graph)
+        names = [name for name, *_ in store.list_graphs()]
+        assert names == ["a", "b"]
+
+
+class TestSeries:
+    def test_roundtrip_with_labels(self, store, graph):
+        store.save_graph("g", graph)
+        series = StateSeries(
+            [NetworkState.neutral(20), NetworkState.from_active_sets(20, positive=[1])],
+            labels=["normal", "anomalous"],
+        )
+        store.save_series("g", "s", series)
+        back = store.load_series("g", "s")
+        assert len(back) == 2
+        assert back.labels == ["normal", "anomalous"]
+        assert back[1] == series[1]
+
+    def test_roundtrip_without_labels(self, store, graph):
+        store.save_graph("g", graph)
+        series = StateSeries([NetworkState.neutral(20)])
+        store.save_series("g", "s", series)
+        assert store.load_series("g", "s").labels is None
+
+    def test_series_requires_graph(self, store):
+        series = StateSeries([NetworkState.neutral(5)])
+        with pytest.raises(StoreError):
+            store.save_series("missing", "s", series)
+
+    def test_missing_series(self, store, graph):
+        store.save_graph("g", graph)
+        with pytest.raises(StoreError):
+            store.load_series("g", "nope")
+
+
+class TestResults:
+    def test_record_and_query(self, store):
+        store.record_result("fig8", "tpr_at_0.3", 0.83, params={"measure": "snd"})
+        store.record_result("fig8", "tpr_at_0.3", 0.40, params={"measure": "hamming"})
+        rows = store.results("fig8")
+        assert len(rows) == 2
+        metric, params, value = rows[0]
+        assert metric == "tpr_at_0.3"
+        assert params == {"measure": "snd"}
+        assert value == 0.83
+
+    def test_distance_rows(self, store, graph):
+        store.save_graph("g", graph)
+        series = StateSeries([NetworkState.neutral(20), NetworkState.neutral(20)])
+        sid = store.save_series("g", "s", series)
+        store.record_distance(sid, "snd", 0, 1, 3.5, elapsed_s=0.01)
+        # No exception and queryable through raw connection:
+        rows = store._conn.execute(
+            "SELECT measure, value FROM distance_runs WHERE series_id = ?", (sid,)
+        ).fetchall()
+        assert rows == [("snd", 3.5)]
+
+    def test_file_persistence(self, tmp_path, graph):
+        path = tmp_path / "exp.sqlite"
+        with ExperimentStore(path) as store:
+            store.save_graph("g", graph)
+        with ExperimentStore(path) as store:
+            assert store.load_graph("g") == graph

@@ -1,0 +1,92 @@
+"""CLI smoke tests and public-API surface checks."""
+
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.cli import build_parser, main
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_quickstart_docstring_flow(self):
+        """The README/docstring quickstart must actually run."""
+        from repro import SND, NetworkState
+        from repro.graph import powerlaw_configuration_graph
+
+        graph = powerlaw_configuration_graph(200, -2.3, k_min=2, seed=0)
+        snd = SND(graph, seed=0)
+        a = NetworkState.from_active_sets(200, positive=[1, 2], negative=[3])
+        b = NetworkState.from_active_sets(200, positive=[1, 5], negative=[3])
+        assert snd.distance(a, b) > 0
+
+
+class TestCli:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["generate", "--nodes", "100"])
+        assert args.command == "generate"
+        assert args.nodes == 100
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_and_distance_roundtrip(self, tmp_path):
+        store_path = str(tmp_path / "exp.sqlite")
+        rc = main(
+            [
+                "generate",
+                "--nodes", "120",
+                "--states", "4",
+                "--seeds", "15",
+                "--seed", "3",
+                "--store", store_path,
+                "--name", "t",
+            ]
+        )
+        assert rc == 0
+        rc = main(
+            ["distance", "--store", store_path, "--name", "t", "--measure", "hamming"]
+        )
+        assert rc == 0
+
+    def test_snd_distance_command(self, tmp_path):
+        store_path = str(tmp_path / "exp.sqlite")
+        main(
+            [
+                "generate",
+                "--nodes", "80",
+                "--states", "3",
+                "--seeds", "10",
+                "--store", store_path,
+                "--name", "t",
+            ]
+        )
+        rc = main(
+            [
+                "distance",
+                "--store", store_path,
+                "--name", "t",
+                "--measure", "snd",
+                "--clusters", "2",
+            ]
+        )
+        assert rc == 0
+
+    def test_module_invocation(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "--version"],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0
+        assert repro.__version__ in result.stdout
