@@ -1,0 +1,189 @@
+"""Batch-series engine benchmark — seed loop vs cached vs parallel.
+
+Times the same 20-state series sweep (the CLI ``generate`` defaults:
+n = 2000 power-law graph, 100 seed users) through four evaluators:
+
+* ``seed_loop`` — the pre-batch-engine path: one ``SND.distance`` call per
+  adjacent pair, rebuilding ``4·(T-1)`` ground-cost arrays;
+* ``cached`` — ``SND.evaluate_series`` serial: a shared
+  :class:`~repro.snd.batch.GroundCostCache` cuts builds to ``2·(T-1)+2``;
+* ``parallel`` — ``evaluate_series(jobs=N)``: process fan-out over
+  contiguous transition chunks (wall-clock gains require > 1 CPU; the
+  JSON records the host's core count so numbers are interpretable);
+* ``cached_lp`` — the cached engine with ``solver="lp"`` (HiGHS): the
+  pure-Python SSP solver dominates this workload's profile, so this row
+  shows what the batched sweep achieves with the fast solver. Its max
+  deviation from the seed loop is recorded (well inside the 1e-9
+  identity budget; typically ~1e-12).
+
+Every row's values are checked against the seed loop before timings are
+reported. Results go to ``benchmarks/BENCH_batch_series.json`` (see
+``benchmarks/README.md``) and, best-effort, to ``results.sqlite``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from common import print_table, record
+from repro.graph.generators import powerlaw_configuration_graph
+from repro.opinions.dynamics import generate_series
+from repro.snd import SND, GroundCostCache
+
+JSON_PATH = Path(__file__).parent / "BENCH_batch_series.json"
+
+#: The CLI ``generate`` defaults (see repro.cli) — the acceptance workload.
+N_NODES = 2000
+N_STATES = 20
+N_SEEDS = 100
+
+
+def _dataset():
+    graph = powerlaw_configuration_graph(N_NODES, -2.3, k_min=2, seed=0)
+    series = generate_series(
+        graph,
+        N_STATES,
+        n_seeds=N_SEEDS,
+        p_nbr=0.10,
+        p_ext=0.01,
+        candidate_fraction=0.05,
+        seed=0,
+    )
+    return graph, series
+
+
+def _snd(graph, **kwargs) -> SND:
+    return SND(graph, n_clusters=24, seed=0, **kwargs)
+
+
+def _time(fn, *, repeats: int = 3):
+    """Best-of-*repeats* wall time and the last return value."""
+    best, value = np.inf, None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, np.asarray(value, dtype=np.float64)
+
+
+def run_experiment(verbose: bool = True) -> dict:
+    graph, series = _dataset()
+    snd = _snd(graph)
+    jobs = max(2, min(4, os.cpu_count() or 1))
+
+    snd.distance(series[0], series[1])  # warm module caches / imports
+
+    t_seed, v_seed = _time(
+        lambda: [snd.distance(a, b) for a, b in series.transitions()]
+    )
+
+    def cached_run():
+        cache = GroundCostCache()
+        out = snd.evaluate_series(series, cache=cache)
+        cached_run.builds = cache.builds
+        return out
+
+    t_cached, v_cached = _time(cached_run)
+
+    t_parallel, v_parallel = _time(
+        lambda: snd.evaluate_series(series, jobs=jobs, cache=GroundCostCache())
+    )
+
+    snd_lp = _snd(graph, solver="lp")
+    snd_lp.distance(series[0], series[1])
+    t_lp, v_lp = _time(
+        lambda: snd_lp.evaluate_series(series, cache=GroundCostCache())
+    )
+
+    def diff(v):
+        return float(np.max(np.abs(v - v_seed))) if v_seed.size else 0.0
+
+    for name, v in (("cached", v_cached), ("parallel", v_parallel), ("lp", v_lp)):
+        assert diff(v) <= 1e-9, f"{name} path deviates from the seed loop"
+
+    naive_builds = 4 * (len(series) - 1)
+    results = {
+        "workload": {
+            "n_nodes": graph.num_nodes,
+            "n_edges": graph.num_edges,
+            "n_states": len(series),
+            "generator": "CLI generate defaults (powerlaw -2.3, 100 seeds)",
+        },
+        "host": {"cpu_count": os.cpu_count(), "jobs": jobs},
+        "ground_cost_builds": {
+            "seed_loop": naive_builds,
+            "cached": int(cached_run.builds),
+            "bound": 2 * (len(series) - 1) + 2,
+        },
+        "timings_ms": {
+            "seed_loop": round(t_seed * 1e3, 2),
+            "cached": round(t_cached * 1e3, 2),
+            "parallel": round(t_parallel * 1e3, 2),
+            "cached_lp": round(t_lp * 1e3, 2),
+        },
+        "speedup_vs_seed": {
+            "cached": round(t_seed / t_cached, 3),
+            "parallel": round(t_seed / t_parallel, 3),
+            "cached_lp": round(t_seed / t_lp, 3),
+        },
+        "max_abs_diff_vs_seed": {
+            "cached": diff(v_cached),
+            "parallel": diff(v_parallel),
+            "cached_lp": diff(v_lp),
+        },
+    }
+    JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+    rows = [
+        ["seed loop", results["timings_ms"]["seed_loop"], 1.0, naive_builds],
+        [
+            "cached",
+            results["timings_ms"]["cached"],
+            results["speedup_vs_seed"]["cached"],
+            int(cached_run.builds),
+        ],
+        [
+            f"parallel (jobs={jobs})",
+            results["timings_ms"]["parallel"],
+            results["speedup_vs_seed"]["parallel"],
+            "-",
+        ],
+        [
+            "cached + lp solver",
+            results["timings_ms"]["cached_lp"],
+            results["speedup_vs_seed"]["cached_lp"],
+            int(cached_run.builds),
+        ],
+    ]
+    print_table(
+        f"Batch series engine on n={graph.num_nodes}, T={len(series)}",
+        ["path", "ms", "speedup", "cost builds"],
+        rows,
+        verbose=verbose,
+    )
+    if verbose and (os.cpu_count() or 1) < 2:
+        print("note: single-CPU host — the parallel row cannot beat serial here")
+
+    for path, speed in results["speedup_vs_seed"].items():
+        record("batch_series", "speedup", speed, path=path)
+    return results
+
+
+def test_batch_engine_exact(benchmark):
+    results = benchmark.pedantic(run_experiment, kwargs={"verbose": False}, rounds=1)
+    assert max(results["max_abs_diff_vs_seed"].values()) <= 1e-9
+    bound = results["ground_cost_builds"]["bound"]
+    assert results["ground_cost_builds"]["cached"] <= bound
+
+
+def test_cached_series_sweep(benchmark):
+    """Micro-benchmark: the cached serial sweep on the acceptance workload."""
+    graph, series = _dataset()
+    snd = _snd(graph)
+    snd.distance(series[0], series[1])
+    benchmark(lambda: snd.evaluate_series(series, cache=GroundCostCache()))

@@ -11,7 +11,12 @@ Run:  python examples/state_space_analysis.py
 
 import numpy as np
 
-from repro.analysis.metric_space import KnnStateClassifier, VPTree, k_medoids
+from repro.analysis.metric_space import (
+    KnnStateClassifier,
+    VPTree,
+    k_medoids,
+    state_distance_matrix,
+)
 from repro.datasets.synthetic import giant_component_powerlaw
 from repro.opinions import evolve_state, random_transition, seed_state
 from repro.snd import SND, allocate_banks
@@ -48,8 +53,15 @@ def main() -> None:
     scalar = lambda a, b: abs(float(a) - float(b))  # noqa: E731
 
     # 1. Clustering: recover the two regimes without labels.
-    dmat = np.abs(np.subtract.outer(feats, feats))
+    dmat = state_distance_matrix(feats, scalar)
     cluster_labels, medoids, _ = k_medoids(dmat, 2, seed=0)
+
+    # 1b. The same machinery over raw states: snd.pairwise_matrix evaluates
+    # the upper triangle only, with ground costs cached per state.
+    after_states = [b for _, b in transitions[:6]]
+    state_dmat = state_distance_matrix(after_states, snd, jobs=4)
+    state_clusters, _, _ = k_medoids(state_dmat, 2, seed=0)
+    print(f"state-level k-medoids over SND matrix: {state_clusters.tolist()}")
     print(f"\nk-medoids clusters: {cluster_labels.tolist()}")
     print(f"true regimes:       "
           f"{[0 if l == 'organic' else 1 for l in labels]}  (up to renaming)")

@@ -9,7 +9,12 @@ from repro.analysis.anomaly import (
 )
 from repro.analysis.baselines import community_lp_predict, nhood_voting_predict
 from repro.analysis.extrapolation import extrapolate_next
-from repro.analysis.metric_space import KnnStateClassifier, VPTree, k_medoids
+from repro.analysis.metric_space import (
+    KnnStateClassifier,
+    VPTree,
+    k_medoids,
+    state_distance_matrix,
+)
 from repro.analysis.prediction import DistancePredictor, PredictionOutcome
 from repro.analysis.roc import roc_auc, roc_curve, tpr_at_fpr
 
@@ -25,6 +30,7 @@ __all__ = [
     "VPTree",
     "k_medoids",
     "KnnStateClassifier",
+    "state_distance_matrix",
     "DistancePredictor",
     "PredictionOutcome",
     "nhood_voting_predict",

@@ -108,9 +108,17 @@ def detect_anomalies(
     normalized = normalize_distance_series(distances, active_counts)
     scores = anomaly_scores(normalized)
     if top_k is not None:
+        top_k = int(top_k)
+        if top_k < 0:
+            raise ValidationError(f"top_k must be non-negative, got {top_k}")
         order = np.argsort(-scores, kind="stable")
-        flagged = np.sort(order[: int(top_k)])
-        used_threshold = float(scores[order[min(int(top_k), len(order)) - 1]]) if len(order) else 0.0
+        flagged = np.sort(order[:top_k])
+        if top_k == 0 or not len(order):
+            # Nothing flagged: the effective threshold sits above every
+            # score (a -1 index here used to report the series *minimum*).
+            used_threshold = np.inf
+        else:
+            used_threshold = float(scores[order[min(top_k, len(order)) - 1]])
     else:
         if threshold is None:
             threshold = float(scores.mean() + 2.0 * scores.std()) if scores.size else 0.0

@@ -28,9 +28,35 @@ import numpy as np
 from repro.exceptions import ValidationError
 from repro.utils.rng import as_rng
 
-__all__ = ["VPTree", "k_medoids", "KnnStateClassifier"]
+__all__ = ["VPTree", "k_medoids", "KnnStateClassifier", "state_distance_matrix"]
 
 DistanceFn = Callable[[object, object], float]
+
+
+def state_distance_matrix(
+    items: Sequence,
+    distance,
+    *,
+    jobs: int | None = None,
+) -> np.ndarray:
+    """The symmetric ``(N, N)`` matrix :func:`k_medoids` (and any other
+    matrix consumer here) expects.
+
+    *distance* may be an object exposing a batched ``pairwise_matrix``
+    (e.g. :class:`repro.snd.SND`, which caches ground costs and honours
+    *jobs*) or a plain callable ``f(a, b) -> float``, in which case the
+    upper triangle is evaluated once and mirrored.
+    """
+    batched = getattr(distance, "pairwise_matrix", None)
+    if callable(batched):
+        return np.asarray(batched(items, jobs=jobs), dtype=np.float64)
+    items = list(items)
+    n = len(items)
+    out = np.zeros((n, n), dtype=np.float64)
+    for i in range(n):
+        for j in range(i + 1, n):
+            out[i, j] = out[j, i] = float(distance(items[i], items[j]))
+    return out
 
 
 # --------------------------------------------------------------------- #

@@ -7,8 +7,15 @@ Subcommands
 ``distance``
     Compute SND (and optionally baselines) between two states of a saved
     series.
+``distance-matrix``
+    Compute the symmetric all-pairs distance matrix over a saved series
+    (upper triangle evaluated once; ``--jobs`` fans out across workers).
 ``experiment``
     Run one of the paper's experiments end-to-end and print its table.
+
+``--measure`` choices are derived from the live distance registry
+(:func:`repro.distances.default_registry`), so newly registered measures
+are reachable without touching this module.
 """
 
 from __future__ import annotations
@@ -42,15 +49,41 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--store", default="experiments.sqlite")
     gen.add_argument("--name", default="synthetic")
 
+    from repro.distances import default_registry
+
+    measures = default_registry().names()
+
     dist = sub.add_parser("distance", help="compute distances over a saved series")
     dist.add_argument("--store", default="experiments.sqlite")
     dist.add_argument("--name", default="synthetic")
-    dist.add_argument(
-        "--measure",
-        default="snd",
-        choices=["snd", "hamming", "l1", "quad-form", "walk-dist"],
-    )
+    dist.add_argument("--measure", default="snd", choices=measures)
     dist.add_argument("--clusters", type=int, default=None)
+    dist.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="parallel workers for batched measures (default: serial)",
+    )
+
+    dmat = sub.add_parser(
+        "distance-matrix",
+        help="compute the all-pairs distance matrix over a saved series",
+    )
+    dmat.add_argument("--store", default="experiments.sqlite")
+    dmat.add_argument("--name", default="synthetic")
+    dmat.add_argument("--measure", default="snd", choices=measures)
+    dmat.add_argument("--clusters", type=int, default=None)
+    dmat.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="parallel workers for batched measures (default: serial)",
+    )
+    dmat.add_argument(
+        "--output",
+        default=None,
+        help="save the matrix to this .npy file instead of printing it",
+    )
 
     exp = sub.add_parser("experiment", help="run a paper experiment")
     exp.add_argument(
@@ -89,8 +122,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_distance(args: argparse.Namespace) -> int:
-    from repro.distances import DistanceContext, default_registry
+def _load_context(args: argparse.Namespace):
+    from repro.distances import DistanceContext
     from repro.store import ExperimentStore
 
     with ExperimentStore(args.store) as store:
@@ -99,11 +132,35 @@ def _cmd_distance(args: argparse.Namespace) -> int:
     context = DistanceContext(graph=graph)
     if args.measure == "snd":
         context.ensure_snd(n_clusters=args.clusters, seed=0)
-    registry = default_registry()
-    values = registry.series(args.measure, series, context)
+    return series, context
+
+
+def _cmd_distance(args: argparse.Namespace) -> int:
+    from repro.distances import default_registry
+
+    series, context = _load_context(args)
+    values = default_registry().series(args.measure, series, context, jobs=args.jobs)
     print(f"# {args.measure} distances between adjacent states")
     for t, v in enumerate(values):
         print(f"{t:4d} -> {t + 1:4d}: {v:.6g}")
+    return 0
+
+
+def _cmd_distance_matrix(args: argparse.Namespace) -> int:
+    from repro.distances import default_registry
+
+    series, context = _load_context(args)
+    matrix = default_registry().pairwise(args.measure, series, context, jobs=args.jobs)
+    if args.output:
+        np.save(args.output, matrix)
+        print(
+            f"saved {matrix.shape[0]}x{matrix.shape[1]} {args.measure} "
+            f"matrix to {args.output}"
+        )
+    else:
+        print(f"# {args.measure} all-pairs distance matrix")
+        for row in matrix:
+            print("  ".join(f"{v:10.6g}" for v in row))
     return 0
 
 
@@ -156,6 +213,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_generate(args)
     if args.command == "distance":
         return _cmd_distance(args)
+    if args.command == "distance-matrix":
+        return _cmd_distance_matrix(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     raise AssertionError(f"unhandled command {args.command!r}")

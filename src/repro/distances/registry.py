@@ -9,7 +9,7 @@ with per-measure precomputation (Laplacian for quad-form, SND instance,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -50,16 +50,44 @@ class DistanceContext:
 MeasureFn = Callable[[NetworkState, NetworkState, DistanceContext], float]
 
 
+#: Batched series evaluator: ``(series, context, jobs) -> (T-1,) array``.
+SeriesFn = Callable[[StateSeries, DistanceContext, "int | None"], np.ndarray]
+#: Batched all-pairs evaluator: ``(states, context, jobs) -> (N, N) array``.
+PairwiseFn = Callable[[Sequence, DistanceContext, "int | None"], np.ndarray]
+
+
 class DistanceRegistry:
-    """Named distance measures with a shared ``(p, q, context)`` signature."""
+    """Named distance measures with a shared ``(p, q, context)`` signature.
+
+    Measures may additionally register batched evaluators (*series_fn*,
+    *pairwise_fn*) that exploit measure-specific structure — SND routes
+    through :mod:`repro.snd.batch` for ground-cost caching and a ``jobs=``
+    fan-out. Measures without batched evaluators fall back to generic
+    loops (symmetric measures still get upper-triangle-only pairwise
+    evaluation), so every registered measure supports :meth:`series` and
+    :meth:`pairwise` uniformly.
+    """
 
     def __init__(self) -> None:
         self._measures: dict[str, MeasureFn] = {}
+        self._series_fns: dict[str, SeriesFn] = {}
+        self._pairwise_fns: dict[str, PairwiseFn] = {}
 
-    def register(self, name: str, fn: MeasureFn) -> None:
+    def register(
+        self,
+        name: str,
+        fn: MeasureFn,
+        *,
+        series_fn: SeriesFn | None = None,
+        pairwise_fn: PairwiseFn | None = None,
+    ) -> None:
         if name in self._measures:
             raise ValidationError(f"measure {name!r} already registered")
         self._measures[name] = fn
+        if series_fn is not None:
+            self._series_fns[name] = series_fn
+        if pairwise_fn is not None:
+            self._pairwise_fns[name] = pairwise_fn
 
     def names(self) -> list[str]:
         return sorted(self._measures)
@@ -78,20 +106,63 @@ class DistanceRegistry:
         return self.get(name)(p, q, context)
 
     def series(
-        self, name: str, series: StateSeries, context: DistanceContext
+        self,
+        name: str,
+        series: StateSeries,
+        context: DistanceContext,
+        *,
+        jobs: int | None = None,
     ) -> np.ndarray:
-        """Adjacent-state distances ``d_t = f(G_{t-1}, G_t)``."""
-        fn = self.get(name)
+        """Adjacent-state distances ``d_t = f(G_{t-1}, G_t)``.
+
+        Measures with a registered batched evaluator (SND) honour *jobs*
+        and cache shared work; others run the generic per-pair loop.
+        """
+        fn = self.get(name)  # validates the name for both paths
+        batched = self._series_fns.get(name)
+        if batched is not None:
+            return np.asarray(batched(series, context, jobs), dtype=np.float64)
         return np.array(
             [fn(a, b, context) for a, b in series.transitions()], dtype=np.float64
         )
+
+    def pairwise(
+        self,
+        name: str,
+        states,
+        context: DistanceContext,
+        *,
+        jobs: int | None = None,
+    ) -> np.ndarray:
+        """Symmetric all-pairs distance matrix over *states*.
+
+        The generic fallback evaluates the upper triangle only and mirrors
+        it (every registered measure is symmetric); SND's batched evaluator
+        additionally caches ground costs and fans out across *jobs*.
+        """
+        fn = self.get(name)
+        batched = self._pairwise_fns.get(name)
+        if batched is not None:
+            return np.asarray(batched(states, context, jobs), dtype=np.float64)
+        from repro.analysis.metric_space import state_distance_matrix
+
+        return state_distance_matrix(states, lambda p, q: fn(p, q, context))
 
 
 def default_registry() -> DistanceRegistry:
     """Registry with the paper's §6.1 line-up: snd, hamming, walk-dist,
     quad-form (plus l1 used in §6.4)."""
     registry = DistanceRegistry()
-    registry.register("snd", lambda p, q, ctx: ctx.ensure_snd().distance(p, q))
+    registry.register(
+        "snd",
+        lambda p, q, ctx: ctx.ensure_snd().distance(p, q),
+        series_fn=lambda series, ctx, jobs: ctx.ensure_snd().evaluate_series(
+            series, jobs=jobs
+        ),
+        pairwise_fn=lambda states, ctx, jobs: ctx.ensure_snd().pairwise_matrix(
+            states, jobs=jobs
+        ),
+    )
     registry.register("hamming", lambda p, q, ctx: hamming_distance(p, q))
     registry.register("l1", lambda p, q, ctx: l1_distance(p, q))
     registry.register(

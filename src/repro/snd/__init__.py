@@ -11,9 +11,20 @@ distances built from Eq. 2, using the linear-time reduced pipeline of
 Theorem 4 (:mod:`repro.snd.fast`); :mod:`repro.snd.direct` computes the
 same quantity without the reduction, for validation and the Fig. 11
 baseline.
+
+Batch workloads — whole-series sweeps and all-pairs matrices — run through
+:mod:`repro.snd.batch`::
+
+    distances = snd.evaluate_series(series, jobs=4)   # d_t = SND(G_t, G_{t+1})
+    matrix = snd.pairwise_matrix(series)              # symmetric, zero diagonal
+
+Both share a bounded :class:`~repro.snd.batch.GroundCostCache` so each
+state's Eq. 2 cost arrays are built once per sweep, and both return values
+bit-identical to the per-pair loop.
 """
 
 from repro.snd.banks import BankAllocation, allocate_banks
+from repro.snd.batch import GroundCostCache, evaluate_series, pairwise_matrix
 from repro.snd.direct import snd_direct
 from repro.snd.ground import GroundDistanceConfig, build_edge_costs, quantize_costs
 from repro.snd.snd import SND
@@ -23,7 +34,10 @@ __all__ = [
     "snd_direct",
     "BankAllocation",
     "allocate_banks",
+    "GroundCostCache",
     "GroundDistanceConfig",
     "build_edge_costs",
+    "evaluate_series",
+    "pairwise_matrix",
     "quantize_costs",
 ]

@@ -1,0 +1,324 @@
+"""Batch SND evaluation: series sweeps, pairwise matrices, parallel fan-out.
+
+Every experiment in the paper (Figs. 5-12, Table 1) sweeps a
+:class:`~repro.opinions.state.StateSeries` through SND, and the §9
+metric-space applications need all-pairs distance matrices. Evaluating each
+pair from scratch wastes work twice over:
+
+1. **Ground-cost rebuilds.** Eq. 3 needs the Eq. 2 edge costs of *both*
+   states (one per polarity), and adjacent transitions share a state — the
+   supplier-side costs of ``(G_t, G_{t+1})`` are rebuilt verbatim for
+   ``(G_{t+1}, G_{t+2})``. :class:`GroundCostCache` memoises cost arrays
+   under a ``(state fingerprint, opinion)`` key, cutting a series sweep
+   from ``4·(T-1)`` builds to at most ``2·(T-1) + 2`` and a pairwise
+   matrix over ``N`` states to ``2·N``.
+2. **Serial evaluation.** Transitions (and pairs) are independent, so a
+   ``jobs=`` fan-out distributes contiguous chunks over a
+   :mod:`concurrent.futures` pool. Process workers receive the SND
+   instance and the stacked state matrix **once** through the pool
+   initializer and keep a private :class:`GroundCostCache`, so per-task
+   payloads are just index ranges.
+
+The batched paths run the exact same per-term pipeline as
+:meth:`repro.snd.snd.SND.evaluate` (same cost arrays, same solver, same
+summation order), so results are bit-identical to the naive per-pair loop
+— property-tested in ``tests/snd/test_batch.py``. ``SND(a, b) == SND(b, a)``
+by construction (Eq. 3 is symmetric), so :func:`pairwise_matrix` evaluates
+the upper triangle only and mirrors it.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.opinions.state import NEGATIVE, POSITIVE, NetworkState, StateSeries
+
+__all__ = [
+    "DEFAULT_CACHE_SIZE",
+    "GroundCostCache",
+    "evaluate_series",
+    "pairwise_matrix",
+]
+
+#: Default bound on cached cost arrays. A series sweep only ever has 4
+#: entries live (two states x two polarities); pairwise callers size their
+#: cache to ``2·N`` explicitly. 64 leaves room for sliding-window reuse
+#: while bounding retained memory at ``64 · m`` floats.
+DEFAULT_CACHE_SIZE = 64
+
+
+class GroundCostCache:
+    """Bounded LRU cache of Eq. 2 edge-cost arrays.
+
+    Keys are ``(state fingerprint, opinion)`` where the fingerprint is the
+    raw opinion-vector bytes — two states with equal opinions share an
+    entry regardless of object identity. Values are the CSR-aligned cost
+    arrays of :meth:`repro.snd.ground.GroundDistanceConfig.edge_costs`;
+    they are treated as immutable once cached.
+
+    The cache is thread-safe (one lock around lookups/inserts) so a thread
+    fan-out can share a single instance; process workers each hold their
+    own. ``hits`` / ``misses`` counters make cache effectiveness testable:
+    ``misses`` equals the number of ground-cost builds performed.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE) -> None:
+        if maxsize < 1:
+            raise ValidationError(f"cache maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self._entries: OrderedDict[tuple[bytes, int], np.ndarray] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def fingerprint(state: NetworkState) -> bytes:
+        """Content key for *state* (equal opinions => equal fingerprint)."""
+        return state.values.tobytes()
+
+    def edge_costs(self, ground, graph, state: NetworkState, opinion: int) -> np.ndarray:
+        """Cached ``ground.edge_costs(graph, state, opinion)``."""
+        key = (self.fingerprint(state), int(opinion))
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return cached
+        costs = ground.edge_costs(graph, state, opinion)
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = costs
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        return costs
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def builds(self) -> int:
+        """Number of ground-cost arrays actually built (== misses)."""
+        return self.misses
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]  # locks cannot cross pickle; workers re-create
+        state["_entries"] = OrderedDict()  # entries don't travel: workers
+        return state  # rebuild their own, and shipping arrays defeats the point
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GroundCostCache(size={len(self._entries)}/{self.maxsize}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+# --------------------------------------------------------------------- #
+# Single-pair evaluation through the cache
+# --------------------------------------------------------------------- #
+
+
+def _pair_distance(snd, a: NetworkState, b: NetworkState, cache: GroundCostCache) -> float:
+    """One Eq. 3 evaluation with ground costs drawn from *cache*.
+
+    Term order and summation match :meth:`SND.evaluate` exactly so the
+    result is bit-identical to the unbatched path.
+    """
+    ground, graph = snd.ground, snd.graph
+    terms = (
+        snd.term(a, b, POSITIVE, edge_costs=cache.edge_costs(ground, graph, a, POSITIVE)),
+        snd.term(a, b, NEGATIVE, edge_costs=cache.edge_costs(ground, graph, a, NEGATIVE)),
+        snd.term(b, a, POSITIVE, edge_costs=cache.edge_costs(ground, graph, b, POSITIVE)),
+        snd.term(b, a, NEGATIVE, edge_costs=cache.edge_costs(ground, graph, b, NEGATIVE)),
+    )
+    return 0.5 * sum(terms)
+
+
+# --------------------------------------------------------------------- #
+# Process-pool plumbing
+# --------------------------------------------------------------------- #
+
+# Worker-global context, set once per process by the pool initializer so
+# per-task payloads are bare index ranges (the SND instance and the state
+# matrix cross the process boundary exactly once).
+_WORKER: dict = {}
+
+
+def _init_worker(snd, matrix: np.ndarray, cache_size: int) -> None:
+    _WORKER["snd"] = snd
+    _WORKER["states"] = [NetworkState(row) for row in matrix]
+    _WORKER["cache"] = GroundCostCache(cache_size)
+
+
+def _series_chunk_worker(start: int, stop: int) -> tuple[int, list[float]]:
+    """Distances for transitions ``start .. stop-1`` (contiguous, so the
+    worker cache gets the same adjacent-state reuse as the serial sweep)."""
+    snd, states, cache = _WORKER["snd"], _WORKER["states"], _WORKER["cache"]
+    out = [
+        _pair_distance(snd, states[t], states[t + 1], cache) for t in range(start, stop)
+    ]
+    return start, out
+
+
+def _pairwise_chunk_worker(pairs: list[tuple[int, int]]) -> list[float]:
+    """Distances for explicit ``(i, j)`` pairs (grouped by row upstream so
+    the supplier-side cost arrays stay hot in the worker cache)."""
+    snd, states, cache = _WORKER["snd"], _WORKER["states"], _WORKER["cache"]
+    return [_pair_distance(snd, states[i], states[j], cache) for i, j in pairs]
+
+
+def _chunk_ranges(n_items: int, n_chunks: int) -> list[tuple[int, int]]:
+    """Split ``0..n_items`` into at most *n_chunks* contiguous ranges."""
+    n_chunks = max(1, min(n_chunks, n_items))
+    bounds = np.linspace(0, n_items, n_chunks + 1).astype(int)
+    return [(int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:]) if b > a]
+
+
+def _resolve_executor(executor: str):
+    if executor == "process":
+        return ProcessPoolExecutor
+    if executor == "thread":
+        return ThreadPoolExecutor
+    raise ValidationError(
+        f"executor must be 'process' or 'thread', got {executor!r}"
+    )
+
+
+# --------------------------------------------------------------------- #
+# Public batch APIs
+# --------------------------------------------------------------------- #
+
+
+def evaluate_series(
+    snd,
+    series: StateSeries,
+    *,
+    jobs: int | None = None,
+    cache: GroundCostCache | None = None,
+    executor: str = "process",
+) -> np.ndarray:
+    """Adjacent-state distances ``d_t = SND(G_t, G_{t+1})``, batched.
+
+    Serial (``jobs in (None, 0, 1)``): one sweep through *cache* — each
+    state's two cost arrays are built once and reused by both transitions
+    touching it (``2·(T-1) + 2`` builds total instead of ``4·(T-1)``).
+
+    Parallel (``jobs >= 2``): transitions are split into *jobs* contiguous
+    chunks over a :mod:`concurrent.futures` pool. Process workers receive
+    ``(snd, state matrix)`` once via the pool initializer and keep private
+    caches; thread workers share *cache* directly. Chunk boundaries cost
+    at most 2 extra builds each, so builds stay ``<= 2·(T-1) + 2·jobs``.
+
+    Values are bit-identical to ``[snd.distance(a, b) for a, b in
+    series.transitions()]`` in every mode.
+    """
+    n_transitions = len(series) - 1
+    if n_transitions <= 0:
+        return np.empty(0, dtype=np.float64)
+    if cache is None:
+        cache = GroundCostCache(DEFAULT_CACHE_SIZE)
+
+    if jobs is None or jobs <= 1 or n_transitions == 1:
+        out = np.empty(n_transitions, dtype=np.float64)
+        for t, (a, b) in enumerate(series.transitions()):
+            out[t] = _pair_distance(snd, a, b, cache)
+        return out
+
+    pool_cls = _resolve_executor(executor)
+    ranges = _chunk_ranges(n_transitions, int(jobs))
+    out = np.empty(n_transitions, dtype=np.float64)
+    if pool_cls is ThreadPoolExecutor:
+        # Threads share the caller-visible cache; no initializer needed.
+        def run(start: int, stop: int) -> tuple[int, list[float]]:
+            vals = [
+                _pair_distance(snd, series[t], series[t + 1], cache)
+                for t in range(start, stop)
+            ]
+            return start, vals
+
+        with ThreadPoolExecutor(max_workers=len(ranges)) as pool:
+            for start, vals in pool.map(lambda r: run(*r), ranges):
+                out[start : start + len(vals)] = vals
+        return out
+
+    matrix = series.to_matrix()
+    with ProcessPoolExecutor(
+        max_workers=len(ranges),
+        initializer=_init_worker,
+        initargs=(snd, matrix, cache.maxsize),
+    ) as pool:
+        for start, vals in pool.map(_series_chunk_worker, *zip(*ranges)):
+            out[start : start + len(vals)] = vals
+    return out
+
+
+def pairwise_matrix(
+    snd,
+    states,
+    *,
+    jobs: int | None = None,
+    cache: GroundCostCache | None = None,
+    executor: str = "process",
+) -> np.ndarray:
+    """Symmetric ``(N, N)`` SND matrix over *states*, upper triangle only.
+
+    Eq. 3 is symmetric by construction, so only the ``N·(N-1)/2`` pairs
+    ``i < j`` are evaluated and mirrored; the diagonal is exactly 0. With
+    a cache of capacity ``>= 2·N`` each state's two cost arrays are built
+    once (``2·N`` builds instead of ``4·N·(N-1)/2``). Pairs are grouped by
+    row before chunking so worker caches keep the supplier side hot.
+
+    *states* may be a :class:`StateSeries` or any sequence of
+    :class:`NetworkState`.
+    """
+    states = list(states)
+    n = len(states)
+    out = np.zeros((n, n), dtype=np.float64)
+    if n < 2:
+        return out
+    if cache is None:
+        cache = GroundCostCache(max(DEFAULT_CACHE_SIZE, 2 * n))
+
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+
+    if jobs is None or jobs <= 1 or len(pairs) == 1:
+        for i, j in pairs:
+            out[i, j] = out[j, i] = _pair_distance(snd, states[i], states[j], cache)
+        return out
+
+    pool_cls = _resolve_executor(executor)
+    ranges = _chunk_ranges(len(pairs), int(jobs))
+    chunks = [pairs[a:b] for a, b in ranges]
+    if pool_cls is ThreadPoolExecutor:
+        def run(chunk: list[tuple[int, int]]) -> list[float]:
+            return [_pair_distance(snd, states[i], states[j], cache) for i, j in chunk]
+
+        with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
+            results = list(pool.map(run, chunks))
+    else:
+        matrix = np.vstack([s.values for s in states])
+        with ProcessPoolExecutor(
+            max_workers=len(chunks),
+            initializer=_init_worker,
+            initargs=(snd, matrix, max(cache.maxsize, 2 * n)),
+        ) as pool:
+            results = list(pool.map(_pairwise_chunk_worker, chunks))
+
+    for chunk, values in zip(chunks, results):
+        for (i, j), v in zip(chunk, values):
+            out[i, j] = out[j, i] = v
+    return out

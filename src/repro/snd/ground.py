@@ -46,11 +46,13 @@ DEFAULT_MAX_COST = 64
 def quantize_costs(costs: np.ndarray, *, max_cost: int = DEFAULT_MAX_COST) -> np.ndarray:
     """Map non-negative real costs onto positive integers ``<= max_cost``.
 
-    Costs that are already positive integers within the bound pass through
-    unchanged. Otherwise costs are scaled so the maximum lands on
-    ``max_cost``, rounded, and floored at 1. Relative cost structure is
-    preserved up to the integer resolution — the "appropriate choice of
-    costs" Assumption 2 alludes to.
+    Costs that are already non-negative integers within the bound pass
+    through unchanged, except that zero entries are floored to 1 (Assumption
+    2 demands *positive* integers; rescaling the whole array because of one
+    zero would distort every other integer cost). Otherwise costs are scaled
+    so the maximum lands on ``max_cost``, rounded, and floored at 1.
+    Relative cost structure is preserved up to the integer resolution — the
+    "appropriate choice of costs" Assumption 2 alludes to.
     """
     costs = np.asarray(costs, dtype=np.float64)
     if costs.size == 0:
@@ -62,8 +64,8 @@ def quantize_costs(costs: np.ndarray, *, max_cost: int = DEFAULT_MAX_COST) -> np
     if max_cost < 1:
         raise QuantizationError(f"max_cost must be >= 1, got {max_cost}")
     rounded = np.rint(costs)
-    if np.allclose(costs, rounded) and rounded.min() >= 1 and rounded.max() <= max_cost:
-        return rounded.astype(np.int64)
+    if np.allclose(costs, rounded) and rounded.max() <= max_cost:
+        return np.maximum(rounded, 1).astype(np.int64)
     peak = costs.max()
     if peak <= 0:
         return np.ones(costs.shape, dtype=np.int64)

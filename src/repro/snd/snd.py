@@ -10,6 +10,11 @@ histogram (``NetworkState.histogram``), the ground distance is rebuilt for
 the supplier-side state of each term, and each term runs through the fast
 Theorem 4 pipeline. The construction is symmetric by design, so SND applies
 to time-unordered state pairs.
+
+Batch workloads (series sweeps, pairwise matrices) go through
+:meth:`SND.evaluate_series` / :meth:`SND.pairwise_matrix`, which share a
+:class:`~repro.snd.batch.GroundCostCache` of Eq. 2 cost arrays and accept a
+``jobs=`` parallel fan-out (see :mod:`repro.snd.batch`).
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from repro.opinions.models.base import OpinionModel
 from repro.opinions.models.model_agnostic import ModelAgnostic
 from repro.opinions.state import NEGATIVE, POSITIVE, NetworkState, StateSeries
 from repro.snd.banks import BankAllocation, allocate_banks
+from repro.snd.batch import GroundCostCache, evaluate_series, pairwise_matrix
 from repro.snd.fast import FastTermStats, emd_star_term_fast
 from repro.snd.ground import DEFAULT_MAX_COST, GroundDistanceConfig
 
@@ -134,6 +140,7 @@ class SND:
         self.solver = solver
         self.bank_metric = bank_metric
         self.bank_shares = bank_shares
+        self._ground_cache: GroundCostCache | None = None
 
     # ------------------------------------------------------------------ #
 
@@ -149,14 +156,21 @@ class SND:
         consumer_state: NetworkState,
         opinion: int,
         *,
+        edge_costs: np.ndarray | None = None,
         stats: FastTermStats | None = None,
     ) -> float:
         """One EMD* term: mass of *opinion* moving from *supplier_state*'s
         adopters to *consumer_state*'s adopters under the ground distance
-        built from *supplier_state*."""
+        built from *supplier_state*.
+
+        *edge_costs* short-circuits the Eq. 2 build with a precomputed
+        CSR-aligned cost array (the batch engine passes cached arrays); it
+        must equal ``self.ground.edge_costs(graph, supplier_state, opinion)``.
+        """
         self._check_state(supplier_state)
         self._check_state(consumer_state)
-        edge_costs = self.ground.edge_costs(self.graph, supplier_state, opinion)
+        if edge_costs is None:
+            edge_costs = self.ground.edge_costs(self.graph, supplier_state, opinion)
         return emd_star_term_fast(
             self.graph,
             supplier_state.histogram(opinion),
@@ -187,14 +201,82 @@ class SND:
         )
         return SNDResult(value=0.5 * sum(terms), terms=terms, stats=stats)
 
+    # ------------------------------------------------------------------ #
+    # Batch evaluation (see repro.snd.batch)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def ground_cache(self) -> GroundCostCache:
+        """The instance-level ground-cost cache shared by the batch APIs.
+
+        Created lazily; :meth:`evaluate_series` and :meth:`pairwise_matrix`
+        draw Eq. 2 cost arrays from it unless handed an explicit cache, so
+        repeated sweeps over overlapping states (sliding windows, matrix
+        extensions) reuse earlier builds.
+        """
+        if self._ground_cache is None:
+            self._ground_cache = GroundCostCache()
+        return self._ground_cache
+
+    def evaluate_series(
+        self,
+        series: StateSeries,
+        *,
+        jobs: int | None = None,
+        cache: GroundCostCache | None = None,
+        executor: str = "process",
+    ) -> np.ndarray:
+        """Adjacent-state distances with ground-cost caching and an
+        optional ``jobs``-way parallel fan-out.
+
+        Bit-identical to the naive per-pair loop; see
+        :func:`repro.snd.batch.evaluate_series` for the caching and
+        parallelism contract.
+        """
+        return evaluate_series(
+            self,
+            series,
+            jobs=jobs,
+            cache=cache if cache is not None else self.ground_cache,
+            executor=executor,
+        )
+
+    def pairwise_matrix(
+        self,
+        states,
+        *,
+        jobs: int | None = None,
+        cache: GroundCostCache | None = None,
+        executor: str = "process",
+    ) -> np.ndarray:
+        """Symmetric all-pairs SND matrix (upper triangle evaluated once).
+
+        See :func:`repro.snd.batch.pairwise_matrix`.
+        """
+        states = list(states)
+        if cache is None:
+            cache = self.ground_cache
+            if cache.maxsize < 2 * len(states):
+                # The instance cache is too small to hold every state's two
+                # cost arrays — a transient right-sized cache keeps builds
+                # at 2N instead of thrashing toward N^2.
+                cache = GroundCostCache(2 * len(states))
+        return pairwise_matrix(
+            self,
+            states,
+            jobs=jobs,
+            cache=cache,
+            executor=executor,
+        )
+
     def distance_series(self, series: StateSeries) -> np.ndarray:
         """Distances between adjacent states: ``d_t = SND(G_{t-1}, G_t)``.
 
-        Returns an array of length ``len(series) - 1``.
+        Returns an array of length ``len(series) - 1``. Runs through the
+        cached serial batch path (identical values, half the ground-cost
+        builds); pass ``jobs=`` to :meth:`evaluate_series` to parallelise.
         """
-        return np.array(
-            [self.distance(a, b) for a, b in series.transitions()], dtype=np.float64
-        )
+        return self.evaluate_series(series)
 
     def __call__(self, state_a: NetworkState, state_b: NetworkState) -> float:
         return self.distance(state_a, state_b)

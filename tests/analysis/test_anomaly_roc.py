@@ -83,6 +83,33 @@ class TestDetector:
         with pytest.raises(ValidationError):
             detect_anomalies(np.ones(4), threshold=0.5, top_k=2)
 
+    def test_top_k_zero_flags_nothing(self):
+        # Regression: the k-1 index used to wrap to -1 and report the
+        # series *minimum* score as the threshold.
+        d = np.array([0.1, 0.9, 0.1, 0.8, 0.1])
+        result = detect_anomalies(d, top_k=0)
+        assert result.flagged.size == 0
+        assert result.threshold == np.inf
+
+    def test_top_k_full_length(self):
+        d = np.array([0.1, 0.9, 0.1, 0.8, 0.1])
+        result = detect_anomalies(d, top_k=len(d))
+        assert sorted(result.flagged.tolist()) == list(range(len(d)))
+        # Threshold is the worst flagged score: everything sits at/above it.
+        assert result.threshold == pytest.approx(
+            float(np.min(result.scores))
+        )
+
+    def test_top_k_beyond_length(self):
+        d = np.array([0.1, 0.9, 0.1, 0.8, 0.1])
+        result = detect_anomalies(d, top_k=len(d) + 5)
+        assert sorted(result.flagged.tolist()) == list(range(len(d)))
+        assert result.threshold == pytest.approx(float(np.min(result.scores)))
+
+    def test_negative_top_k_rejected(self):
+        with pytest.raises(ValidationError):
+            detect_anomalies(np.ones(4), top_k=-1)
+
     def test_ranking_order(self):
         d = np.array([0.1, 0.9, 0.1, 0.5, 0.1])
         result = detect_anomalies(d)

@@ -1,0 +1,235 @@
+"""Tests for the batch SND engine: ground-cost cache, series, pairwise."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.graph.generators import erdos_renyi_graph
+from repro.opinions.models.model_agnostic import ModelAgnostic
+from repro.opinions.state import NetworkState, StateSeries
+from repro.snd import SND, GroundCostCache
+from repro.snd.batch import _chunk_ranges
+
+
+def random_series(n: int, length: int, seed: int) -> StateSeries:
+    """A seeded synthetic series where each step flips a few opinions."""
+    rng = np.random.default_rng(seed)
+    values = np.zeros(n, dtype=np.int8)
+    states = []
+    for _ in range(length):
+        values = values.copy()
+        idx = rng.integers(0, n, size=max(2, n // 10))
+        values[idx] = rng.integers(-1, 2, size=idx.size)
+        states.append(NetworkState(values))
+    return StateSeries(states)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi_graph(40, 0.15, seed=7)
+
+
+@pytest.fixture(scope="module")
+def snd(graph):
+    return SND(graph, n_clusters=3, seed=0)
+
+
+class TestGroundCostCache:
+    def test_hit_returns_same_array(self, graph, snd):
+        cache = GroundCostCache()
+        state = NetworkState.from_active_sets(40, positive=[0, 1], negative=[5])
+        first = cache.edge_costs(snd.ground, graph, state, 1)
+        second = cache.edge_costs(snd.ground, graph, state, 1)
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_keyed_by_content_not_identity(self, graph, snd):
+        cache = GroundCostCache()
+        a = NetworkState.from_active_sets(40, positive=[3])
+        b = NetworkState.from_active_sets(40, positive=[3])  # equal, distinct
+        cache.edge_costs(snd.ground, graph, a, 1)
+        cache.edge_costs(snd.ground, graph, b, 1)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_opinion_part_of_key(self, graph, snd):
+        cache = GroundCostCache()
+        state = NetworkState.from_active_sets(40, positive=[0], negative=[1])
+        cache.edge_costs(snd.ground, graph, state, 1)
+        cache.edge_costs(snd.ground, graph, state, -1)
+        assert cache.misses == 2
+
+    def test_lru_bound(self, graph, snd):
+        cache = GroundCostCache(maxsize=2)
+        states = [NetworkState.from_active_sets(40, positive=[k]) for k in range(4)]
+        for s in states:
+            cache.edge_costs(snd.ground, graph, s, 1)
+        assert len(cache) == 2
+        # Oldest entries evicted: re-asking for state 0 is a miss again.
+        cache.edge_costs(snd.ground, graph, states[0], 1)
+        assert cache.misses == 5
+
+    def test_bad_maxsize_rejected(self):
+        with pytest.raises(ValidationError):
+            GroundCostCache(maxsize=0)
+
+    def test_pickle_drops_entries_and_lock(self, graph, snd):
+        cache = GroundCostCache()
+        cache.edge_costs(snd.ground, graph, NetworkState.neutral(40), 1)
+        clone = pickle.loads(pickle.dumps(cache))
+        assert len(clone) == 0
+        assert clone.maxsize == cache.maxsize
+        # Clone must be fully usable (lock re-created).
+        clone.edge_costs(snd.ground, graph, NetworkState.neutral(40), 1)
+
+
+class TestEvaluateSeries:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_cached_matches_naive_loop(self, snd, seed):
+        series = random_series(40, 8, seed)
+        naive = np.array([snd.distance(a, b) for a, b in series.transitions()])
+        cache = GroundCostCache()
+        batched = snd.evaluate_series(series, cache=cache)
+        assert np.max(np.abs(batched - naive)) <= 1e-9
+        assert cache.builds <= 2 * (len(series) - 1) + 2
+
+    @pytest.mark.parametrize("executor", ["process", "thread"])
+    def test_parallel_matches_naive_loop(self, snd, executor):
+        series = random_series(40, 8, seed=4)
+        naive = np.array([snd.distance(a, b) for a, b in series.transitions()])
+        batched = snd.evaluate_series(series, jobs=2, executor=executor)
+        assert np.max(np.abs(batched - naive)) <= 1e-9
+
+    def test_distance_series_unchanged(self, snd):
+        series = random_series(40, 6, seed=5)
+        expected = np.array([snd.distance(a, b) for a, b in series.transitions()])
+        assert np.array_equal(snd.distance_series(series), expected)
+
+    def test_single_state_series(self, snd):
+        series = StateSeries([NetworkState.neutral(40)])
+        assert snd.evaluate_series(series).size == 0
+
+    def test_more_jobs_than_transitions(self, snd):
+        series = random_series(40, 3, seed=6)
+        naive = np.array([snd.distance(a, b) for a, b in series.transitions()])
+        batched = snd.evaluate_series(series, jobs=16, executor="thread")
+        assert np.max(np.abs(batched - naive)) <= 1e-9
+
+    def test_unknown_executor_rejected(self, snd):
+        series = random_series(40, 4, seed=7)
+        with pytest.raises(ValidationError):
+            snd.evaluate_series(series, jobs=2, executor="gpu")
+
+    def test_instance_cache_shared_across_calls(self, graph):
+        snd = SND(graph, n_clusters=3, seed=0)
+        series = random_series(40, 5, seed=8)
+        snd.evaluate_series(series)
+        builds_first = snd.ground_cache.builds
+        snd.evaluate_series(series)  # same states: everything cached
+        assert snd.ground_cache.builds == builds_first
+
+
+class TestPairwiseMatrix:
+    def test_symmetric_zero_diagonal(self, snd):
+        series = random_series(40, 6, seed=9)
+        matrix = snd.pairwise_matrix(series)
+        assert matrix.shape == (6, 6)
+        assert np.array_equal(matrix, matrix.T)
+        assert np.all(np.diag(matrix) == 0.0)
+
+    def test_matches_per_pair_distance(self, snd):
+        states = list(random_series(40, 5, seed=10))
+        matrix = snd.pairwise_matrix(states)
+        for i in range(len(states)):
+            for j in range(i + 1, len(states)):
+                assert matrix[i, j] == pytest.approx(
+                    snd.distance(states[i], states[j]), abs=1e-9
+                )
+
+    @pytest.mark.parametrize("executor", ["process", "thread"])
+    def test_parallel_matches_serial(self, snd, executor):
+        series = random_series(40, 5, seed=11)
+        serial = snd.pairwise_matrix(series)
+        parallel = snd.pairwise_matrix(series, jobs=3, executor=executor)
+        assert np.max(np.abs(serial - parallel)) <= 1e-9
+
+    def test_build_count_linear_in_states(self, snd):
+        states = list(random_series(40, 6, seed=12))
+        cache = GroundCostCache(maxsize=4 * len(states))
+        snd.pairwise_matrix(states, cache=cache)
+        assert cache.builds <= 2 * len(states)
+
+    def test_degenerate_sizes(self, snd):
+        assert snd.pairwise_matrix([]).shape == (0, 0)
+        one = snd.pairwise_matrix([NetworkState.neutral(40)])
+        assert one.shape == (1, 1) and one[0, 0] == 0.0
+
+
+class TestRegistryBatchPath:
+    def test_snd_series_routed_through_batch(self, graph):
+        from repro.distances import DistanceContext, default_registry
+
+        series = random_series(40, 5, seed=13)
+        registry = default_registry()
+        context = DistanceContext(graph=graph)
+        context.ensure_snd(n_clusters=3, seed=0)
+        serial = registry.series("snd", series, context)
+        naive = np.array(
+            [context.snd.distance(a, b) for a, b in series.transitions()]
+        )
+        assert np.max(np.abs(serial - naive)) <= 1e-9
+        # The serial batched path populates the SND instance cache (process
+        # workers keep their own caches, so only the serial path shows here).
+        assert context.snd.ground_cache.builds > 0
+        parallel = registry.series("snd", series, context, jobs=2)
+        assert np.max(np.abs(parallel - naive)) <= 1e-9
+
+    def test_generic_pairwise_fallback(self, graph):
+        from repro.distances import DistanceContext, default_registry
+        from repro.distances.vector import hamming_distance
+
+        series = random_series(40, 4, seed=14)
+        registry = default_registry()
+        context = DistanceContext(graph=graph)
+        matrix = registry.pairwise("hamming", series, context)
+        states = list(series)
+        for i in range(len(states)):
+            for j in range(len(states)):
+                assert matrix[i, j] == hamming_distance(states[i], states[j])
+
+    def test_unknown_measure_rejected(self, graph):
+        from repro.distances import DistanceContext, default_registry
+
+        series = random_series(40, 3, seed=15)
+        with pytest.raises(ValidationError):
+            default_registry().pairwise("nope", series, DistanceContext(graph=graph))
+
+
+class TestStateDistanceMatrix:
+    def test_batched_object_used(self, snd):
+        from repro.analysis.metric_space import state_distance_matrix
+
+        states = list(random_series(40, 4, seed=16))
+        via_helper = state_distance_matrix(states, snd)
+        direct = snd.pairwise_matrix(states)
+        assert np.array_equal(via_helper, direct)
+
+    def test_callable_fallback(self):
+        from repro.analysis.metric_space import state_distance_matrix
+
+        items = [0.0, 1.0, 3.0]
+        matrix = state_distance_matrix(items, lambda a, b: abs(a - b))
+        assert np.array_equal(
+            matrix, np.abs(np.subtract.outer(items, items))
+        )
+
+
+class TestChunking:
+    def test_ranges_cover_exactly(self):
+        for n_items in (1, 5, 17):
+            for n_chunks in (1, 2, 4, 30):
+                ranges = _chunk_ranges(n_items, n_chunks)
+                flat = [t for a, b in ranges for t in range(a, b)]
+                assert flat == list(range(n_items))
+                assert len(ranges) <= max(1, min(n_chunks, n_items))

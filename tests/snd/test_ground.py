@@ -44,6 +44,19 @@ class TestQuantization:
         out = quantize_costs(np.zeros(3), max_cost=5)
         assert out.tolist() == [1, 1, 1]
 
+    def test_integer_with_zero_entry_not_rescaled(self):
+        # A single zero must be floored to 1, not trigger a rescale that
+        # distorts every other integer cost (regression: [0, 1, 5] used to
+        # come back [1, 13, 64] under max_cost=64).
+        out = quantize_costs(np.array([0.0, 1.0, 5.0]), max_cost=64)
+        assert out.tolist() == [1, 1, 5]
+
+    def test_integer_with_zero_above_bound_rescaled(self):
+        # Zeros only suppress the rescale while the bound holds.
+        out = quantize_costs(np.array([0.0, 1.0, 500.0]), max_cost=64)
+        assert out.max() == 64
+        assert out.min() >= 1
+
     def test_empty(self):
         assert quantize_costs(np.array([])).size == 0
 

@@ -82,6 +82,68 @@ class TestCli:
         )
         assert rc == 0
 
+    def test_measure_choices_derived_from_registry(self):
+        from repro.distances import default_registry
+
+        parser = build_parser()
+        for measure in default_registry().names():
+            args = parser.parse_args(["distance", "--measure", measure])
+            assert args.measure == measure
+
+    def test_distance_matrix_command(self, tmp_path):
+        store_path = str(tmp_path / "exp.sqlite")
+        main(
+            [
+                "generate",
+                "--nodes", "80",
+                "--states", "3",
+                "--seeds", "10",
+                "--store", store_path,
+                "--name", "t",
+            ]
+        )
+        rc = main(
+            [
+                "distance-matrix",
+                "--store", store_path,
+                "--name", "t",
+                "--measure", "snd",
+                "--clusters", "2",
+                "--jobs", "2",
+            ]
+        )
+        assert rc == 0
+
+    def test_distance_matrix_output_file(self, tmp_path):
+        import numpy as np
+
+        store_path = str(tmp_path / "exp.sqlite")
+        out_path = str(tmp_path / "matrix.npy")
+        main(
+            [
+                "generate",
+                "--nodes", "60",
+                "--states", "3",
+                "--seeds", "8",
+                "--store", store_path,
+                "--name", "t",
+            ]
+        )
+        rc = main(
+            [
+                "distance-matrix",
+                "--store", store_path,
+                "--name", "t",
+                "--measure", "hamming",
+                "--output", out_path,
+            ]
+        )
+        assert rc == 0
+        matrix = np.load(out_path)
+        assert matrix.shape == (3, 3)
+        assert np.array_equal(matrix, matrix.T)
+        assert np.all(np.diag(matrix) == 0)
+
     def test_module_invocation(self):
         result = subprocess.run(
             [sys.executable, "-m", "repro.cli", "--version"],
