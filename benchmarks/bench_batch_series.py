@@ -1,23 +1,28 @@
-"""Batch-series engine benchmark — seed loop vs cached vs parallel.
+"""Batch-series engine benchmark — seed loop vs cached vs vectorised/auto.
 
 Times the same 20-state series sweep (the CLI ``generate`` defaults:
-n = 2000 power-law graph, 100 seed users) through four evaluators:
+n = 2000 power-law graph, 100 seed users) through six evaluators:
 
 * ``seed_loop`` — the pre-batch-engine path: one ``SND.distance`` call per
   adjacent pair, rebuilding ``4·(T-1)`` ground-cost arrays;
-* ``cached`` — ``SND.evaluate_series`` serial: a shared
-  :class:`~repro.snd.batch.GroundCostCache` cuts builds to ``2·(T-1)+2``;
+* ``cached_heap`` — ``SND.evaluate_series`` serial with the SSP solver
+  pinned to the PR-1 heap Dijkstra kernel: the **PR-1 baseline** the
+  vectorised kernel is measured against;
+* ``cached`` — ``SND.evaluate_series`` serial with the default vectorised
+  SSP kernel (heap-free CSR Dijkstra);
+* ``cached_auto`` — the cached engine with ``solver="auto"``: per reduced
+  instance the policy picks simplex / vectorised ssp / HiGHS lp by size
+  (see :func:`repro.flow.select_transport_method`);
 * ``parallel`` — ``evaluate_series(jobs=N)``: process fan-out over
   contiguous transition chunks (wall-clock gains require > 1 CPU; the
   JSON records the host's core count so numbers are interpretable);
-* ``cached_lp`` — the cached engine with ``solver="lp"`` (HiGHS): the
-  pure-Python SSP solver dominates this workload's profile, so this row
-  shows what the batched sweep achieves with the fast solver. Its max
-  deviation from the seed loop is recorded (well inside the 1e-9
-  identity budget; typically ~1e-12).
+* ``window_resweep`` — a second windowed sweep over the same series
+  through the instance :class:`~repro.snd.batch.TransitionCache`: every
+  transition is answered from the cache, the sliding-window reuse lever.
 
 Every row's values are checked against the seed loop before timings are
-reported. Results go to ``benchmarks/BENCH_batch_series.json`` (see
+reported (the engine's bit-identity contract; the max deviation per row is
+recorded). Results go to ``benchmarks/BENCH_batch_series.json`` (see
 ``benchmarks/README.md``) and, best-effort, to ``results.sqlite``.
 """
 
@@ -26,6 +31,7 @@ from __future__ import annotations
 import json
 import os
 import time
+from contextlib import contextmanager
 from pathlib import Path
 
 import numpy as np
@@ -41,6 +47,10 @@ JSON_PATH = Path(__file__).parent / "BENCH_batch_series.json"
 N_NODES = 2000
 N_STATES = 20
 N_SEEDS = 100
+
+#: The acceptance bar: the vectorised-ssp / auto cached sweep must beat the
+#: PR-1 heap-kernel cached sweep by at least this factor.
+TARGET_SPEEDUP = 1.5
 
 
 def _dataset():
@@ -71,6 +81,19 @@ def _time(fn, *, repeats: int = 3):
     return best, np.asarray(value, dtype=np.float64)
 
 
+@contextmanager
+def _heap_kernel():
+    """Pin the reduced-problem SSP solves to the PR-1 heap Dijkstra kernel."""
+    import repro.snd.fast as fast_mod
+
+    orig = fast_mod.solve_mcf_ssp
+    fast_mod.solve_mcf_ssp = lambda problem: orig(problem, kernel="heap")
+    try:
+        yield
+    finally:
+        fast_mod.solve_mcf_ssp = orig
+
+
 def run_experiment(verbose: bool = True) -> dict:
     graph, series = _dataset()
     snd = _snd(graph)
@@ -81,6 +104,11 @@ def run_experiment(verbose: bool = True) -> dict:
     t_seed, v_seed = _time(
         lambda: [snd.distance(a, b) for a, b in series.transitions()]
     )
+
+    with _heap_kernel():
+        t_heap, v_heap = _time(
+            lambda: snd.evaluate_series(series, cache=GroundCostCache())
+        )
 
     def cached_run():
         cache = GroundCostCache()
@@ -94,17 +122,35 @@ def run_experiment(verbose: bool = True) -> dict:
         lambda: snd.evaluate_series(series, jobs=jobs, cache=GroundCostCache())
     )
 
-    snd_lp = _snd(graph, solver="lp")
-    snd_lp.distance(series[0], series[1])
-    t_lp, v_lp = _time(
-        lambda: snd_lp.evaluate_series(series, cache=GroundCostCache())
+    snd_auto = _snd(graph, solver="auto")
+    snd_auto.distance(series[0], series[1])
+    t_auto, v_auto = _time(
+        lambda: snd_auto.evaluate_series(series, cache=GroundCostCache())
     )
+
+    # Sliding-window reuse: one priming sweep fills the transition cache,
+    # the timed re-sweep answers every transition from it.
+    snd_win = _snd(graph)
+    snd_win.evaluate_series(series, window=10)
+    fresh_after_priming = snd_win.transition_cache.fresh
+    t_window, v_window = _time(lambda: snd_win.evaluate_series(series, window=10))
 
     def diff(v):
         return float(np.max(np.abs(v - v_seed))) if v_seed.size else 0.0
 
-    for name, v in (("cached", v_cached), ("parallel", v_parallel), ("lp", v_lp)):
-        assert diff(v) <= 1e-9, f"{name} path deviates from the seed loop"
+    diffs = {
+        "cached_heap": diff(v_heap),
+        "cached": diff(v_cached),
+        "parallel": diff(v_parallel),
+        "cached_auto": diff(v_auto),
+        "window_resweep": diff(v_window),
+    }
+    for name, d in diffs.items():
+        assert d <= 1e-9, f"{name} path deviates from the seed loop ({d})"
+    assert fresh_after_priming == len(series) - 1, "window mode re-solved transitions"
+    assert snd_win.transition_cache.fresh == fresh_after_priming, (
+        "the timed window re-sweep should answer every transition from cache"
+    )
 
     naive_builds = 4 * (len(series) - 1)
     results = {
@@ -122,53 +168,75 @@ def run_experiment(verbose: bool = True) -> dict:
         },
         "timings_ms": {
             "seed_loop": round(t_seed * 1e3, 2),
+            "cached_heap": round(t_heap * 1e3, 2),
             "cached": round(t_cached * 1e3, 2),
             "parallel": round(t_parallel * 1e3, 2),
-            "cached_lp": round(t_lp * 1e3, 2),
+            "cached_auto": round(t_auto * 1e3, 2),
+            "window_resweep": round(t_window * 1e3, 2),
+        },
+        "speedup_vs_pr1_heap_baseline": {
+            "cached": round(t_heap / t_cached, 3),
+            "cached_auto": round(t_heap / t_auto, 3),
+            "window_resweep": round(t_heap / t_window, 3),
         },
         "speedup_vs_seed": {
             "cached": round(t_seed / t_cached, 3),
             "parallel": round(t_seed / t_parallel, 3),
-            "cached_lp": round(t_seed / t_lp, 3),
+            "cached_auto": round(t_seed / t_auto, 3),
         },
-        "max_abs_diff_vs_seed": {
-            "cached": diff(v_cached),
-            "parallel": diff(v_parallel),
-            "cached_lp": diff(v_lp),
+        "max_abs_diff_vs_seed": diffs,
+        "window": {
+            "window_states": 10,
+            "fresh_transitions_first_sweep": int(fresh_after_priming),
+            "fresh_transitions_resweep": 0,
         },
     }
     JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")
 
     rows = [
-        ["seed loop", results["timings_ms"]["seed_loop"], 1.0, naive_builds],
+        ["seed loop (vector kernel)", results["timings_ms"]["seed_loop"], "-", naive_builds],
         [
-            "cached",
+            "cached + heap kernel (PR-1)",
+            results["timings_ms"]["cached_heap"],
+            1.0,
+            int(cached_run.builds),
+        ],
+        [
+            "cached (vector kernel)",
             results["timings_ms"]["cached"],
-            results["speedup_vs_seed"]["cached"],
+            results["speedup_vs_pr1_heap_baseline"]["cached"],
+            int(cached_run.builds),
+        ],
+        [
+            "cached + solver=auto",
+            results["timings_ms"]["cached_auto"],
+            results["speedup_vs_pr1_heap_baseline"]["cached_auto"],
             int(cached_run.builds),
         ],
         [
             f"parallel (jobs={jobs})",
             results["timings_ms"]["parallel"],
-            results["speedup_vs_seed"]["parallel"],
+            round(t_heap / t_parallel, 3),
             "-",
         ],
         [
-            "cached + lp solver",
-            results["timings_ms"]["cached_lp"],
-            results["speedup_vs_seed"]["cached_lp"],
-            int(cached_run.builds),
+            "windowed re-sweep (cached transitions)",
+            results["timings_ms"]["window_resweep"],
+            results["speedup_vs_pr1_heap_baseline"]["window_resweep"],
+            "-",
         ],
     ]
     print_table(
         f"Batch series engine on n={graph.num_nodes}, T={len(series)}",
-        ["path", "ms", "speedup", "cost builds"],
+        ["path", "ms", "speedup vs PR-1", "cost builds"],
         rows,
         verbose=verbose,
     )
     if verbose and (os.cpu_count() or 1) < 2:
         print("note: single-CPU host — the parallel row cannot beat serial here")
 
+    for path, speed in results["speedup_vs_pr1_heap_baseline"].items():
+        record("batch_series", "speedup_vs_pr1", speed, path=path)
     for path, speed in results["speedup_vs_seed"].items():
         record("batch_series", "speedup", speed, path=path)
     return results
@@ -179,6 +247,13 @@ def test_batch_engine_exact(benchmark):
     assert max(results["max_abs_diff_vs_seed"].values()) <= 1e-9
     bound = results["ground_cost_builds"]["bound"]
     assert results["ground_cost_builds"]["cached"] <= bound
+    best = max(
+        results["speedup_vs_pr1_heap_baseline"]["cached"],
+        results["speedup_vs_pr1_heap_baseline"]["cached_auto"],
+    )
+    assert best >= TARGET_SPEEDUP, (
+        f"vectorised/auto sweep only {best}x vs the PR-1 heap baseline"
+    )
 
 
 def test_cached_series_sweep(benchmark):

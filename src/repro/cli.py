@@ -50,6 +50,7 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--name", default="synthetic")
 
     from repro.distances import default_registry
+    from repro.snd.fast import SOLVER_CHOICES
 
     measures = default_registry().names()
 
@@ -63,6 +64,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="parallel workers for batched measures (default: serial)",
+    )
+    dist.add_argument(
+        "--solver",
+        default="auto",
+        choices=SOLVER_CHOICES,
+        help="SND reduced-problem solver ('auto' selects per instance)",
+    )
+    dist.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        help="incremental sliding-window evaluation: process the series in "
+        "overlapping windows of this many states, reusing previously "
+        "solved transitions (identical values; SND only)",
     )
 
     dmat = sub.add_parser(
@@ -78,6 +93,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="parallel workers for batched measures (default: serial)",
+    )
+    dmat.add_argument(
+        "--solver",
+        default="auto",
+        choices=SOLVER_CHOICES,
+        help="SND reduced-problem solver ('auto' selects per instance)",
     )
     dmat.add_argument(
         "--output",
@@ -131,7 +152,9 @@ def _load_context(args: argparse.Namespace):
         series = store.load_series(args.name, "series")
     context = DistanceContext(graph=graph)
     if args.measure == "snd":
-        context.ensure_snd(n_clusters=args.clusters, seed=0)
+        context.ensure_snd(
+            n_clusters=args.clusters, seed=0, solver=getattr(args, "solver", "auto")
+        )
     return series, context
 
 
@@ -139,10 +162,18 @@ def _cmd_distance(args: argparse.Namespace) -> int:
     from repro.distances import default_registry
 
     series, context = _load_context(args)
-    values = default_registry().series(args.measure, series, context, jobs=args.jobs)
+    values = default_registry().series(
+        args.measure, series, context, jobs=args.jobs, window=args.window
+    )
     print(f"# {args.measure} distances between adjacent states")
     for t, v in enumerate(values):
         print(f"{t:4d} -> {t + 1:4d}: {v:.6g}")
+    if args.window is not None and context.snd is not None:
+        tc = context.snd.transition_cache
+        print(
+            f"# sliding window of {args.window} states: "
+            f"{tc.fresh} transitions solved, {tc.reused} reused from cache"
+        )
     return 0
 
 

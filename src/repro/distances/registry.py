@@ -50,8 +50,11 @@ class DistanceContext:
 MeasureFn = Callable[[NetworkState, NetworkState, DistanceContext], float]
 
 
-#: Batched series evaluator: ``(series, context, jobs) -> (T-1,) array``.
-SeriesFn = Callable[[StateSeries, DistanceContext, "int | None"], np.ndarray]
+#: Batched series evaluator:
+#: ``(series, context, jobs, window) -> (T-1,) array``.
+SeriesFn = Callable[
+    [StateSeries, DistanceContext, "int | None", "int | None"], np.ndarray
+]
 #: Batched all-pairs evaluator: ``(states, context, jobs) -> (N, N) array``.
 PairwiseFn = Callable[[Sequence, DistanceContext, "int | None"], np.ndarray]
 
@@ -112,16 +115,20 @@ class DistanceRegistry:
         context: DistanceContext,
         *,
         jobs: int | None = None,
+        window: int | None = None,
     ) -> np.ndarray:
         """Adjacent-state distances ``d_t = f(G_{t-1}, G_t)``.
 
         Measures with a registered batched evaluator (SND) honour *jobs*
-        and cache shared work; others run the generic per-pair loop.
+        and *window* (incremental sliding-window evaluation — identical
+        values, previously solved transitions reused) and cache shared
+        work; others run the generic per-pair loop, for which *window* is
+        a no-op (the values do not depend on it).
         """
         fn = self.get(name)  # validates the name for both paths
         batched = self._series_fns.get(name)
         if batched is not None:
-            return np.asarray(batched(series, context, jobs), dtype=np.float64)
+            return np.asarray(batched(series, context, jobs, window), dtype=np.float64)
         return np.array(
             [fn(a, b, context) for a, b in series.transitions()], dtype=np.float64
         )
@@ -156,9 +163,8 @@ def default_registry() -> DistanceRegistry:
     registry.register(
         "snd",
         lambda p, q, ctx: ctx.ensure_snd().distance(p, q),
-        series_fn=lambda series, ctx, jobs: ctx.ensure_snd().evaluate_series(
-            series, jobs=jobs
-        ),
+        series_fn=lambda series, ctx, jobs, window=None: ctx.ensure_snd()
+        .evaluate_series(series, jobs=jobs, window=window),
         pairwise_fn=lambda states, ctx, jobs: ctx.ensure_snd().pairwise_matrix(
             states, jobs=jobs
         ),

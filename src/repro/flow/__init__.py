@@ -5,26 +5,33 @@ reduces to a sparse min-cost-flow instance. Four interchangeable exact
 solvers are provided:
 
 * :func:`solve_mcf_ssp` — successive shortest paths with potentials
-  (default; exact for real-valued supplies/costs);
+  (default; exact for real-valued supplies/costs; heap-free vectorised
+  Dijkstra kernel for dense reduced problems, heap kernel for sparse ones);
 * :func:`solve_mcf_cost_scaling` — Goldberg–Tarjan cost-scaling
   push-relabel (integer costs; the paper's CS2 role);
 * :func:`solve_transportation_simplex` — dense MODI transportation simplex;
 * :func:`solve_transportation_lp` — :func:`scipy.optimize.linprog` reference
   (the paper's CPLEX role in Fig. 11).
 
-All agree to numerical tolerance; cross-solver agreement is property-tested.
+All agree to numerical tolerance; cross-solver agreement is property-tested
+in ``tests/flow/test_solver_equivalence.py``. ``method="auto"`` picks the
+fastest exact solver for an instance's size (:func:`select_transport_method`);
+the thresholds are documented with measurements in ``benchmarks/README.md``.
 """
 
+from repro.exceptions import ValidationError
 from repro.flow.cost_scaling import solve_mcf_cost_scaling
 from repro.flow.lp_reference import solve_transportation_lp
 from repro.flow.problem import MinCostFlowProblem, TransportationProblem
 from repro.flow.sinkhorn import solve_transportation_sinkhorn
-from repro.flow.ssp import solve_mcf_ssp, solve_transportation_ssp
+from repro.flow.ssp import select_mcf_kernel, solve_mcf_ssp, solve_transportation_ssp
 from repro.flow.transport_simplex import solve_transportation_simplex
 
 __all__ = [
     "TransportationProblem",
     "MinCostFlowProblem",
+    "select_mcf_kernel",
+    "select_transport_method",
     "solve_mcf_ssp",
     "solve_transportation_ssp",
     "solve_mcf_cost_scaling",
@@ -34,6 +41,16 @@ __all__ = [
     "solve_transportation",
 ]
 
+#: ``method="auto"`` thresholds on the dense cell count ``n_sup * n_con``
+#: (measured on random integer-cost instances; see benchmarks/README.md).
+#: Below ``AUTO_SIMPLEX_CELLS`` the MODI simplex's tiny constant wins; up to
+#: ``AUTO_SSP_CELLS`` the vectorised SSP kernel is fastest; above that the
+#: HiGHS LP's C pivoting amortises its ~2 ms setup. Cost-scaling is exact
+#: but dominated by the vectorised SSP on every measured region, so the
+#: auto policy never selects it.
+AUTO_SIMPLEX_CELLS = 64
+AUTO_SSP_CELLS = 2048
+
 _TRANSPORT_SOLVERS = {
     "ssp": solve_transportation_ssp,
     "simplex": solve_transportation_simplex,
@@ -41,16 +58,36 @@ _TRANSPORT_SOLVERS = {
 }
 
 
+def select_transport_method(n_suppliers: int, n_consumers: int) -> str:
+    """The ``method="auto"`` policy for dense transportation instances.
+
+    Returns ``"simplex"`` for tiny instances (``cells <= 64``), ``"ssp"``
+    for small-to-medium ones (``cells <= 2048``), and ``"lp"`` beyond —
+    the crossovers measured in ``benchmarks/README.md``. All three are
+    exact, so the choice only affects speed.
+    """
+    cells = max(0, int(n_suppliers)) * max(0, int(n_consumers))
+    if cells <= AUTO_SIMPLEX_CELLS:
+        return "simplex"
+    if cells <= AUTO_SSP_CELLS:
+        return "ssp"
+    return "lp"
+
+
 def solve_transportation(problem: TransportationProblem, *, method: str = "ssp"):
     """Solve a (possibly unbalanced) transportation problem.
 
-    ``method`` is one of ``"ssp"`` (default), ``"simplex"``, ``"lp"``.
+    ``method`` is one of ``"ssp"`` (default), ``"simplex"``, ``"lp"``, or
+    ``"auto"`` (size-based selection, :func:`select_transport_method`).
     Returns a :class:`~repro.flow.plan.TransportPlan`.
     """
+    if method == "auto":
+        method = select_transport_method(problem.n_suppliers, problem.n_consumers)
     try:
         solver = _TRANSPORT_SOLVERS[method]
     except KeyError:
-        raise ValueError(
-            f"unknown method {method!r}; expected one of {sorted(_TRANSPORT_SOLVERS)}"
+        raise ValidationError(
+            f"unknown method {method!r}; expected 'auto' or one of "
+            f"{sorted(_TRANSPORT_SOLVERS)}"
         ) from None
     return solver(problem)

@@ -139,6 +139,42 @@ class MinCostFlowProblem:
         self._costs.append(float(cost))
         return len(self._tails) - 1
 
+    def add_edges(self, tails, heads, capacities, costs) -> int:
+        """Append a batch of arcs at once (vectorised ``add_edge``).
+
+        All four arguments are broadcast-compatible 1-D sequences of equal
+        length. Returns the edge id of the first appended arc; the batch
+        occupies contiguous ids from there. Validation matches
+        :meth:`add_edge` but runs once over the whole batch.
+        """
+        if self._frozen is not None:
+            raise FlowError("problem already frozen by a solver; build a new one")
+        tails = np.asarray(tails, dtype=np.int64)
+        heads = np.asarray(heads, dtype=np.int64)
+        capacities = np.asarray(capacities, dtype=np.float64)
+        costs = np.asarray(costs, dtype=np.float64)
+        if not (tails.shape == heads.shape == capacities.shape == costs.shape):
+            raise ValidationError(
+                f"edge batch arrays must share a shape, got {tails.shape}, "
+                f"{heads.shape}, {capacities.shape}, {costs.shape}"
+            )
+        first_id = len(self._tails)
+        if tails.size == 0:
+            return first_id
+        lo = min(int(tails.min()), int(heads.min()))
+        hi = max(int(tails.max()), int(heads.max()))
+        if lo < 0 or hi >= self.n_nodes:
+            raise ValidationError(f"arc endpoints out of range [{lo}, {hi}]")
+        if float(capacities.min()) < 0:
+            raise ValidationError(
+                f"capacities must be non-negative, min={capacities.min()}"
+            )
+        self._tails.extend(tails.tolist())
+        self._heads.extend(heads.tolist())
+        self._caps.extend(capacities.tolist())
+        self._costs.extend(costs.tolist())
+        return first_id
+
     def set_supply(self, node: int, b: float) -> None:
         """Set the imbalance of *node* (positive supplies, negative demands)."""
         if not 0 <= node < self.n_nodes:

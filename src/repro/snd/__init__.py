@@ -18,13 +18,24 @@ Batch workloads — whole-series sweeps and all-pairs matrices — run through
     distances = snd.evaluate_series(series, jobs=4)   # d_t = SND(G_t, G_{t+1})
     matrix = snd.pairwise_matrix(series)              # symmetric, zero diagonal
 
-Both share a bounded :class:`~repro.snd.batch.GroundCostCache` so each
-state's Eq. 2 cost arrays are built once per sweep, and both return values
-bit-identical to the per-pair loop.
+Both share a bounded :class:`~repro.snd.batch.GroundCostCache` (Eq. 2 cost
+arrays built once per sweep) and a
+:class:`~repro.snd.batch.DijkstraRowCache` (per-source shortest-path rows
+reused across terms), and both return values bit-identical to the per-pair
+loop. ``evaluate_series(window=W)`` additionally runs the incremental
+sliding-window mode: finished transitions are memoised in a
+:class:`~repro.snd.batch.TransitionCache`, so each one-state window shift
+re-solves exactly one fresh transition.
 """
 
 from repro.snd.banks import BankAllocation, allocate_banks
-from repro.snd.batch import GroundCostCache, evaluate_series, pairwise_matrix
+from repro.snd.batch import (
+    DijkstraRowCache,
+    GroundCostCache,
+    TransitionCache,
+    evaluate_series,
+    pairwise_matrix,
+)
 from repro.snd.direct import snd_direct
 from repro.snd.ground import GroundDistanceConfig, build_edge_costs, quantize_costs
 from repro.snd.snd import SND
@@ -34,7 +45,9 @@ __all__ = [
     "snd_direct",
     "BankAllocation",
     "allocate_banks",
+    "DijkstraRowCache",
     "GroundCostCache",
+    "TransitionCache",
     "GroundDistanceConfig",
     "build_edge_costs",
     "evaluate_series",

@@ -1,9 +1,9 @@
-"""Batch SND evaluation: series sweeps, pairwise matrices, parallel fan-out.
+"""Batch SND evaluation: series sweeps, sliding windows, pairwise matrices.
 
 Every experiment in the paper (Figs. 5-12, Table 1) sweeps a
 :class:`~repro.opinions.state.StateSeries` through SND, and the §9
 metric-space applications need all-pairs distance matrices. Evaluating each
-pair from scratch wastes work twice over:
+pair from scratch wastes work three times over:
 
 1. **Ground-cost rebuilds.** Eq. 3 needs the Eq. 2 edge costs of *both*
    states (one per polarity), and adjacent transitions share a state — the
@@ -12,12 +12,26 @@ pair from scratch wastes work twice over:
    under a ``(state fingerprint, opinion)`` key, cutting a series sweep
    from ``4·(T-1)`` builds to at most ``2·(T-1) + 2`` and a pairwise
    matrix over ``N`` states to ``2·N``.
-2. **Serial evaluation.** Transitions (and pairs) are independent, so a
-   ``jobs=`` fan-out distributes contiguous chunks over a
-   :mod:`concurrent.futures` pool. Process workers receive the SND
-   instance and the stacked state matrix **once** through the pool
-   initializer and keep a private :class:`GroundCostCache`, so per-task
-   payloads are just index ranges.
+2. **Shortest-path rebuilds.** The fast pipeline runs one Dijkstra per
+   changed user, and rows depend only on ``(supplier state, opinion,
+   direction, source)`` — terms of different transitions that share a
+   supplier state re-run identical Dijkstras for every source that changed
+   in both. :class:`DijkstraRowCache` memoises per-source rows under that
+   key (rows are independent per source, so stitching cached and fresh
+   rows is bit-identical to one batched run).
+3. **Whole-transition rebuilds.** A sliding window shifted by one state
+   shares all but one transition with the previous sweep.
+   :class:`TransitionCache` memoises finished SND values under the ordered
+   state-fingerprint pair, so windowed sweeps (``window=``) re-solve
+   exactly one fresh transition per shift; its ``misses`` counter makes
+   that testable.
+
+Transitions (and pairs) are independent, so a ``jobs=`` fan-out distributes
+contiguous chunks over a :mod:`concurrent.futures` pool. Process workers
+receive the SND instance and the stacked state matrix **once** through the
+pool initializer and keep private caches, so per-task payloads are just
+index ranges; cached transitions are filtered out *before* dispatch, so
+reuse works in every execution mode.
 
 The batched paths run the exact same per-term pipeline as
 :meth:`repro.snd.snd.SND.evaluate` (same cost arrays, same solver, same
@@ -40,7 +54,11 @@ from repro.opinions.state import NEGATIVE, POSITIVE, NetworkState, StateSeries
 
 __all__ = [
     "DEFAULT_CACHE_SIZE",
+    "DEFAULT_ROW_CACHE_SIZE",
+    "DEFAULT_TRANSITION_CACHE_SIZE",
     "GroundCostCache",
+    "DijkstraRowCache",
+    "TransitionCache",
     "evaluate_series",
     "pairwise_matrix",
 ]
@@ -51,52 +69,50 @@ __all__ = [
 #: while bounding retained memory at ``64 · m`` floats.
 DEFAULT_CACHE_SIZE = 64
 
+#: Default bound on cached Dijkstra rows (one row = ``n`` floats; 256 rows
+#: of a 2000-node graph retain ~4 MB).
+DEFAULT_ROW_CACHE_SIZE = 256
 
-class GroundCostCache:
-    """Bounded LRU cache of Eq. 2 edge-cost arrays.
+#: Default bound on cached transition values. Entries are single floats
+#: keyed by two fingerprints, so a large default is cheap and lets long
+#: sliding-window sweeps reuse every previously solved transition.
+DEFAULT_TRANSITION_CACHE_SIZE = 65536
 
-    Keys are ``(state fingerprint, opinion)`` where the fingerprint is the
-    raw opinion-vector bytes — two states with equal opinions share an
-    entry regardless of object identity. Values are the CSR-aligned cost
-    arrays of :meth:`repro.snd.ground.GroundDistanceConfig.edge_costs`;
-    they are treated as immutable once cached.
 
-    The cache is thread-safe (one lock around lookups/inserts) so a thread
-    fan-out can share a single instance; process workers each hold their
-    own. ``hits`` / ``misses`` counters make cache effectiveness testable:
-    ``misses`` equals the number of ground-cost builds performed.
+class _LruCache:
+    """Bounded thread-safe LRU shared by the three batch caches.
+
+    ``hits`` / ``misses`` counters make reuse testable: ``misses`` equals
+    the number of fresh computations performed through the cache. Pickling
+    drops the entries and the lock (process-pool workers rebuild their own
+    caches; shipping entries across the boundary defeats the point).
     """
 
-    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE) -> None:
+    def __init__(self, maxsize: int) -> None:
         if maxsize < 1:
             raise ValidationError(f"cache maxsize must be >= 1, got {maxsize}")
         self.maxsize = int(maxsize)
-        self._entries: OrderedDict[tuple[bytes, int], np.ndarray] = OrderedDict()
+        self._entries: OrderedDict = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
-    @staticmethod
-    def fingerprint(state: NetworkState) -> bytes:
-        """Content key for *state* (equal opinions => equal fingerprint)."""
-        return state.values.tobytes()
-
-    def edge_costs(self, ground, graph, state: NetworkState, opinion: int) -> np.ndarray:
-        """Cached ``ground.edge_costs(graph, state, opinion)``."""
-        key = (self.fingerprint(state), int(opinion))
+    def _get(self, key):
+        """Entry for *key* (counting a hit) or ``None`` (counting a miss)."""
         with self._lock:
-            cached = self._entries.get(key)
-            if cached is not None:
+            entry = self._entries.get(key)
+            if entry is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
-                return cached
-        costs = ground.edge_costs(graph, state, opinion)
+            else:
+                self.misses += 1
+            return entry
+
+    def _put(self, key, value) -> None:
         with self._lock:
-            self.misses += 1
-            self._entries[key] = costs
+            self._entries[key] = value
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
-        return costs
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -104,11 +120,6 @@ class GroundCostCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
-
-    @property
-    def builds(self) -> int:
-        """Number of ground-cost arrays actually built (== misses)."""
-        return self.misses
 
     def __getstate__(self):
         state = self.__dict__.copy()
@@ -122,28 +133,184 @@ class GroundCostCache:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"GroundCostCache(size={len(self._entries)}/{self.maxsize}, "
+            f"{type(self).__name__}(size={len(self._entries)}/{self.maxsize}, "
             f"hits={self.hits}, misses={self.misses})"
         )
 
 
+class GroundCostCache(_LruCache):
+    """Bounded LRU cache of Eq. 2 edge-cost arrays.
+
+    Keys are ``(state fingerprint, opinion)`` where the fingerprint is the
+    raw opinion-vector bytes — two states with equal opinions share an
+    entry regardless of object identity. Values are the CSR-aligned cost
+    arrays of :meth:`repro.snd.ground.GroundDistanceConfig.edge_costs`;
+    they are treated as immutable once cached.
+
+    The cache is thread-safe (one lock around lookups/inserts) so a thread
+    fan-out can share a single instance; process workers each hold their
+    own. ``misses`` equals the number of ground-cost builds performed.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE) -> None:
+        super().__init__(maxsize)
+
+    @staticmethod
+    def fingerprint(state: NetworkState) -> bytes:
+        """Content key for *state* (equal opinions => equal fingerprint)."""
+        return state.values.tobytes()
+
+    def edge_costs(self, ground, graph, state: NetworkState, opinion: int) -> np.ndarray:
+        """Cached ``ground.edge_costs(graph, state, opinion)``."""
+        key = (self.fingerprint(state), int(opinion))
+        cached = self._get(key)
+        if cached is not None:
+            return cached
+        costs = ground.edge_costs(graph, state, opinion)
+        self._put(key, costs)
+        return costs
+
+    @property
+    def builds(self) -> int:
+        """Number of ground-cost arrays actually built (== misses)."""
+        return self.misses
+
+
+class DijkstraRowCache(_LruCache):
+    """Bounded LRU cache of per-source shortest-path rows.
+
+    A row is ``dist(source -> ·)`` (or ``dist(· -> source)`` when
+    *reverse*) under one supplier-side cost array; the key is
+    ``(cost_key, reverse, source)`` where ``cost_key`` is the ground-cost
+    cache key ``(state fingerprint, opinion)``. Rows are independent per
+    source, so a matrix stitched from cached and freshly computed rows is
+    bit-identical to one batched :func:`multi_source_distances` call —
+    which is what makes the cache safe for the exactness contract of the
+    batch engine.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_ROW_CACHE_SIZE) -> None:
+        super().__init__(maxsize)
+
+    def distance_rows(
+        self,
+        graph,
+        sources,
+        edge_costs: np.ndarray,
+        *,
+        reverse: bool,
+        engine: str,
+        heap: str,
+        cost_key,
+    ) -> np.ndarray:
+        """``multi_source_distances`` with per-source row memoisation."""
+        from repro.shortestpath.dijkstra import multi_source_distances
+
+        sources = np.atleast_1d(np.asarray(sources, dtype=np.int64))
+        n = graph.num_nodes
+        out = np.empty((sources.size, n), dtype=np.float64)
+        missing: list[int] = []
+        for i, s in enumerate(sources):
+            row = self._get((cost_key, bool(reverse), int(s)))
+            if row is None:
+                missing.append(i)
+            else:
+                out[i] = row
+        if missing:
+            fresh = multi_source_distances(
+                graph,
+                sources[missing],
+                weights=edge_costs,
+                engine=engine,
+                heap=heap,
+                reverse=reverse,
+            )
+            for k, i in enumerate(missing):
+                out[i] = fresh[k]
+                row = fresh[k].copy()
+                row.setflags(write=False)
+                self._put((cost_key, bool(reverse), int(sources[i])), row)
+        return out
+
+
+class TransitionCache(_LruCache):
+    """Bounded LRU cache of finished SND transition values.
+
+    Keys are the *ordered* fingerprint pair of the two states (Eq. 3 is
+    symmetric, but term summation order differs under a swap, so the
+    ordered key preserves the bit-identical contract); values are floats.
+    ``misses`` counts fresh transitions actually solved — a sliding window
+    shifted by one state shows exactly one miss per shift.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_TRANSITION_CACHE_SIZE) -> None:
+        super().__init__(maxsize)
+
+    @staticmethod
+    def key(a: NetworkState, b: NetworkState) -> tuple[bytes, bytes]:
+        return (GroundCostCache.fingerprint(a), GroundCostCache.fingerprint(b))
+
+    def get(self, a: NetworkState, b: NetworkState) -> float | None:
+        """Cached distance for the ordered pair, or ``None`` (counts the
+        miss — the caller is expected to solve and :meth:`put` it)."""
+        return self._get(self.key(a, b))
+
+    def put(self, a: NetworkState, b: NetworkState, value: float) -> None:
+        self._put(self.key(a, b), float(value))
+
+    @property
+    def fresh(self) -> int:
+        """Number of transitions actually solved (== misses)."""
+        return self.misses
+
+    @property
+    def reused(self) -> int:
+        """Number of transitions answered from the cache (== hits)."""
+        return self.hits
+
+
 # --------------------------------------------------------------------- #
-# Single-pair evaluation through the cache
+# Single-pair evaluation through the caches
 # --------------------------------------------------------------------- #
 
 
-def _pair_distance(snd, a: NetworkState, b: NetworkState, cache: GroundCostCache) -> float:
+def _pair_distance(
+    snd,
+    a: NetworkState,
+    b: NetworkState,
+    cache: GroundCostCache,
+    row_cache: DijkstraRowCache | None = None,
+) -> float:
     """One Eq. 3 evaluation with ground costs drawn from *cache*.
 
     Term order and summation match :meth:`SND.evaluate` exactly so the
-    result is bit-identical to the unbatched path.
+    result is bit-identical to the unbatched path; *row_cache* (optional)
+    additionally reuses per-source Dijkstra rows across terms, which is
+    value-preserving (rows are per-source deterministic).
     """
     ground, graph = snd.ground, snd.graph
+    key_a, key_b = GroundCostCache.fingerprint(a), GroundCostCache.fingerprint(b)
     terms = (
-        snd.term(a, b, POSITIVE, edge_costs=cache.edge_costs(ground, graph, a, POSITIVE)),
-        snd.term(a, b, NEGATIVE, edge_costs=cache.edge_costs(ground, graph, a, NEGATIVE)),
-        snd.term(b, a, POSITIVE, edge_costs=cache.edge_costs(ground, graph, b, POSITIVE)),
-        snd.term(b, a, NEGATIVE, edge_costs=cache.edge_costs(ground, graph, b, NEGATIVE)),
+        snd.term(
+            a, b, POSITIVE,
+            edge_costs=cache.edge_costs(ground, graph, a, POSITIVE),
+            row_cache=row_cache, cost_key=(key_a, POSITIVE),
+        ),
+        snd.term(
+            a, b, NEGATIVE,
+            edge_costs=cache.edge_costs(ground, graph, a, NEGATIVE),
+            row_cache=row_cache, cost_key=(key_a, NEGATIVE),
+        ),
+        snd.term(
+            b, a, POSITIVE,
+            edge_costs=cache.edge_costs(ground, graph, b, POSITIVE),
+            row_cache=row_cache, cost_key=(key_b, POSITIVE),
+        ),
+        snd.term(
+            b, a, NEGATIVE,
+            edge_costs=cache.edge_costs(ground, graph, b, NEGATIVE),
+            row_cache=row_cache, cost_key=(key_b, NEGATIVE),
+        ),
     )
     return 0.5 * sum(terms)
 
@@ -158,18 +325,23 @@ def _pair_distance(snd, a: NetworkState, b: NetworkState, cache: GroundCostCache
 _WORKER: dict = {}
 
 
-def _init_worker(snd, matrix: np.ndarray, cache_size: int) -> None:
+def _init_worker(snd, matrix: np.ndarray, cache_size: int, row_cache_size: int = 0) -> None:
     _WORKER["snd"] = snd
     _WORKER["states"] = [NetworkState(row) for row in matrix]
     _WORKER["cache"] = GroundCostCache(cache_size)
+    _WORKER["row_cache"] = (
+        DijkstraRowCache(row_cache_size) if row_cache_size else None
+    )
 
 
 def _series_chunk_worker(start: int, stop: int) -> tuple[int, list[float]]:
     """Distances for transitions ``start .. stop-1`` (contiguous, so the
     worker cache gets the same adjacent-state reuse as the serial sweep)."""
     snd, states, cache = _WORKER["snd"], _WORKER["states"], _WORKER["cache"]
+    row_cache = _WORKER.get("row_cache")
     out = [
-        _pair_distance(snd, states[t], states[t + 1], cache) for t in range(start, stop)
+        _pair_distance(snd, states[t], states[t + 1], cache, row_cache)
+        for t in range(start, stop)
     ]
     return start, out
 
@@ -178,14 +350,43 @@ def _pairwise_chunk_worker(pairs: list[tuple[int, int]]) -> list[float]:
     """Distances for explicit ``(i, j)`` pairs (grouped by row upstream so
     the supplier-side cost arrays stay hot in the worker cache)."""
     snd, states, cache = _WORKER["snd"], _WORKER["states"], _WORKER["cache"]
-    return [_pair_distance(snd, states[i], states[j], cache) for i, j in pairs]
+    row_cache = _WORKER.get("row_cache")
+    return [
+        _pair_distance(snd, states[i], states[j], cache, row_cache) for i, j in pairs
+    ]
 
 
 def _chunk_ranges(n_items: int, n_chunks: int) -> list[tuple[int, int]]:
-    """Split ``0..n_items`` into at most *n_chunks* contiguous ranges."""
-    n_chunks = max(1, min(n_chunks, n_items))
+    """Split ``0..n_items`` into at most *n_chunks* contiguous ranges.
+
+    Degenerate inputs are handled explicitly: ``n_items <= 0`` yields no
+    ranges, and ``n_chunks`` is clamped to ``1..n_items`` (asking for more
+    chunks than items never produces empty ranges).
+    """
+    if n_items <= 0:
+        return []
+    n_chunks = max(1, min(int(n_chunks), n_items))
     bounds = np.linspace(0, n_items, n_chunks + 1).astype(int)
     return [(int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:]) if b > a]
+
+
+def _missing_runs(missing: list[int], jobs: int) -> list[tuple[int, int]]:
+    """Contiguous ``(start, stop)`` runs over *missing* (sorted indices),
+    with long runs split so the task count roughly matches *jobs*."""
+    runs: list[tuple[int, int]] = []
+    i = 0
+    while i < len(missing):
+        j = i
+        while j + 1 < len(missing) and missing[j + 1] == missing[j] + 1:
+            j += 1
+        runs.append((missing[i], missing[j] + 1))
+        i = j + 1
+    target = max(1, -(-len(missing) // max(1, jobs)))  # ceil division
+    tasks: list[tuple[int, int]] = []
+    for start, stop in runs:
+        for a, b in _chunk_ranges(stop - start, -(-(stop - start) // target)):
+            tasks.append((start + a, start + b))
+    return tasks
 
 
 def _resolve_executor(executor: str):
@@ -210,6 +411,9 @@ def evaluate_series(
     jobs: int | None = None,
     cache: GroundCostCache | None = None,
     executor: str = "process",
+    transitions: TransitionCache | None = None,
+    row_cache: DijkstraRowCache | None = None,
+    window: int | None = None,
 ) -> np.ndarray:
     """Adjacent-state distances ``d_t = SND(G_t, G_{t+1})``, batched.
 
@@ -217,11 +421,20 @@ def evaluate_series(
     state's two cost arrays are built once and reused by both transitions
     touching it (``2·(T-1) + 2`` builds total instead of ``4·(T-1)``).
 
-    Parallel (``jobs >= 2``): transitions are split into *jobs* contiguous
-    chunks over a :mod:`concurrent.futures` pool. Process workers receive
+    Parallel (``jobs >= 2``): transitions are split into contiguous chunks
+    over a :mod:`concurrent.futures` pool. Process workers receive
     ``(snd, state matrix)`` once via the pool initializer and keep private
-    caches; thread workers share *cache* directly. Chunk boundaries cost
-    at most 2 extra builds each, so builds stay ``<= 2·(T-1) + 2·jobs``.
+    caches; thread workers share *cache* (and *row_cache*) directly. Chunk
+    boundaries cost at most 2 extra builds each, so builds stay
+    ``<= 2·(T-1) + 2·jobs``.
+
+    *transitions* (optional :class:`TransitionCache`) memoises finished
+    values across calls: cached transitions are answered before any worker
+    dispatch, so a sweep over a window shifted by one state re-solves
+    exactly one transition. *window* runs the whole series through
+    overlapping length-*window* sub-sweeps sharing one transition cache —
+    the incremental evaluation mode of the ROADMAP — and returns the same
+    ``(T-1,)`` array as the from-scratch sweep.
 
     Values are bit-identical to ``[snd.distance(a, b) for a, b in
     series.transitions()]`` in every mode.
@@ -232,37 +445,78 @@ def evaluate_series(
     if cache is None:
         cache = GroundCostCache(DEFAULT_CACHE_SIZE)
 
-    if jobs is None or jobs <= 1 or n_transitions == 1:
+    if window is not None:
+        if window < 2:
+            raise ValidationError(
+                f"window must span at least one transition (>= 2 states), "
+                f"got {window}"
+            )
+        if transitions is None:
+            transitions = TransitionCache()
+        window = min(int(window), len(series))
         out = np.empty(n_transitions, dtype=np.float64)
-        for t, (a, b) in enumerate(series.transitions()):
-            out[t] = _pair_distance(snd, a, b, cache)
+        for start in range(0, len(series) - window + 1):
+            vals = evaluate_series(
+                snd,
+                series[start : start + window],
+                jobs=jobs,
+                cache=cache,
+                executor=executor,
+                transitions=transitions,
+                row_cache=row_cache,
+            )
+            out[start : start + window - 1] = vals
+        return out
+
+    out = np.empty(n_transitions, dtype=np.float64)
+    if transitions is not None:
+        missing: list[int] = []
+        states = list(series)
+        for t in range(n_transitions):
+            cached_value = transitions.get(states[t], states[t + 1])
+            if cached_value is None:
+                missing.append(t)
+            else:
+                out[t] = cached_value
+        if not missing:
+            return out
+    else:
+        missing = list(range(n_transitions))
+
+    if jobs is None or jobs <= 1 or len(missing) == 1:
+        for t in missing:
+            out[t] = _pair_distance(snd, series[t], series[t + 1], cache, row_cache)
+            if transitions is not None:
+                transitions.put(series[t], series[t + 1], out[t])
         return out
 
     pool_cls = _resolve_executor(executor)
-    ranges = _chunk_ranges(n_transitions, int(jobs))
-    out = np.empty(n_transitions, dtype=np.float64)
+    tasks = _missing_runs(missing, int(jobs))
     if pool_cls is ThreadPoolExecutor:
-        # Threads share the caller-visible cache; no initializer needed.
+        # Threads share the caller-visible caches; no initializer needed.
         def run(start: int, stop: int) -> tuple[int, list[float]]:
             vals = [
-                _pair_distance(snd, series[t], series[t + 1], cache)
+                _pair_distance(snd, series[t], series[t + 1], cache, row_cache)
                 for t in range(start, stop)
             ]
             return start, vals
 
-        with ThreadPoolExecutor(max_workers=len(ranges)) as pool:
-            for start, vals in pool.map(lambda r: run(*r), ranges):
+        with ThreadPoolExecutor(max_workers=min(len(tasks), int(jobs))) as pool:
+            for start, vals in pool.map(lambda r: run(*r), tasks):
                 out[start : start + len(vals)] = vals
-        return out
-
-    matrix = series.to_matrix()
-    with ProcessPoolExecutor(
-        max_workers=len(ranges),
-        initializer=_init_worker,
-        initargs=(snd, matrix, cache.maxsize),
-    ) as pool:
-        for start, vals in pool.map(_series_chunk_worker, *zip(*ranges)):
-            out[start : start + len(vals)] = vals
+    else:
+        matrix = series.to_matrix()
+        row_cache_size = row_cache.maxsize if row_cache is not None else 0
+        with ProcessPoolExecutor(
+            max_workers=min(len(tasks), int(jobs)),
+            initializer=_init_worker,
+            initargs=(snd, matrix, cache.maxsize, row_cache_size),
+        ) as pool:
+            for start, vals in pool.map(_series_chunk_worker, *zip(*tasks)):
+                out[start : start + len(vals)] = vals
+    if transitions is not None:
+        for t in missing:
+            transitions.put(series[t], series[t + 1], out[t])
     return out
 
 
@@ -273,6 +527,7 @@ def pairwise_matrix(
     jobs: int | None = None,
     cache: GroundCostCache | None = None,
     executor: str = "process",
+    row_cache: DijkstraRowCache | None = None,
 ) -> np.ndarray:
     """Symmetric ``(N, N)`` SND matrix over *states*, upper triangle only.
 
@@ -280,10 +535,13 @@ def pairwise_matrix(
     ``i < j`` are evaluated and mirrored; the diagonal is exactly 0. With
     a cache of capacity ``>= 2·N`` each state's two cost arrays are built
     once (``2·N`` builds instead of ``4·N·(N-1)/2``). Pairs are grouped by
-    row before chunking so worker caches keep the supplier side hot.
+    row before chunking so worker caches keep the supplier side hot, and
+    *row_cache* (optional) reuses per-source Dijkstra rows across the many
+    pairs sharing a supplier state.
 
     *states* may be a :class:`StateSeries` or any sequence of
-    :class:`NetworkState`.
+    :class:`NetworkState`; 0- and 1-state inputs yield the corresponding
+    trivial (all-zero) matrix.
     """
     states = list(states)
     n = len(states)
@@ -297,7 +555,9 @@ def pairwise_matrix(
 
     if jobs is None or jobs <= 1 or len(pairs) == 1:
         for i, j in pairs:
-            out[i, j] = out[j, i] = _pair_distance(snd, states[i], states[j], cache)
+            out[i, j] = out[j, i] = _pair_distance(
+                snd, states[i], states[j], cache, row_cache
+            )
         return out
 
     pool_cls = _resolve_executor(executor)
@@ -305,16 +565,20 @@ def pairwise_matrix(
     chunks = [pairs[a:b] for a, b in ranges]
     if pool_cls is ThreadPoolExecutor:
         def run(chunk: list[tuple[int, int]]) -> list[float]:
-            return [_pair_distance(snd, states[i], states[j], cache) for i, j in chunk]
+            return [
+                _pair_distance(snd, states[i], states[j], cache, row_cache)
+                for i, j in chunk
+            ]
 
         with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
             results = list(pool.map(run, chunks))
     else:
         matrix = np.vstack([s.values for s in states])
+        row_cache_size = row_cache.maxsize if row_cache is not None else 0
         with ProcessPoolExecutor(
             max_workers=len(chunks),
             initializer=_init_worker,
-            initargs=(snd, matrix, max(cache.maxsize, 2 * n)),
+            initargs=(snd, matrix, max(cache.maxsize, 2 * n), row_cache_size),
         ) as pool:
             results = list(pool.map(_pairwise_chunk_worker, chunks))
 

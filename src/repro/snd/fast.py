@@ -11,10 +11,15 @@ Per EMD* term the pipeline is:
    ``"nearest"`` bank metric those same rows also price every bank arc, so
    no extra shortest-path work is needed. The paper-literal ``"cluster"``
    metric additionally runs one multi-source Dijkstra per cluster hosting
-   changed users.
-3. **Solve a sparse min-cost flow** on a hub-expanded graph: bank arcs
-   factor through one hub node per cluster, keeping the arc count
-   ``O(n∆² + n∆·Nc + Nc·N_b)``.
+   changed users. Rows are per-source and depend only on the supplier-side
+   edge costs, so batch sweeps hand in a
+   :class:`~repro.snd.batch.DijkstraRowCache` to reuse rows of unchanged
+   sources across terms and transitions.
+3. **Solve the reduced problem**: ``solver="auto"`` (via
+   :func:`repro.flow.select_transport_method`) picks per instance between
+   the hub-expanded sparse min-cost flow (vectorised SSP kernel; arc count
+   ``O(n∆² + n∆·Nc + Nc·N_b)``), the dense MODI simplex, and the HiGHS LP
+   on the bank-folded dense form — all exact, chosen purely for speed.
 
 Under ``bank_metric="nearest"`` the result *exactly* equals the direct
 (unreduced) EMD* — the extended ground distance is a semimetric, so the
@@ -30,17 +35,22 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.emd.reduction import reduced_problem_profile
 from repro.exceptions import ValidationError
-from repro.flow import solve_mcf_cost_scaling, solve_mcf_ssp
+from repro.flow import select_transport_method, solve_mcf_cost_scaling, solve_mcf_ssp
 from repro.flow.problem import MinCostFlowProblem
 from repro.graph.digraph import DiGraph
 from repro.shortestpath.dijkstra import dijkstra_multi, multi_source_distances
 from repro.snd.banks import BankAllocation
 from repro.snd.ground import unreachable_cost
 
-__all__ = ["emd_star_term_fast", "FastTermStats"]
+__all__ = ["emd_star_term_fast", "FastTermStats", "SOLVER_CHOICES"]
 
 _EPS = 1e-12
+
+#: Valid values for the ``solver=`` knob of the fast pipeline (and of
+#: :class:`repro.snd.snd.SND`). ``"auto"`` selects per reduced instance.
+SOLVER_CHOICES = ("auto", "ssp", "cost-scaling", "lp", "simplex")
 
 
 @dataclass
@@ -53,6 +63,8 @@ class FastTermStats:
     n_cluster_runs: int = 0
     n_arcs: int = 0
     cost: float = 0.0
+    solver: str = ""
+    density: float = 1.0
 
 
 def _min_distance_from_set(
@@ -93,6 +105,33 @@ def _min_distance_from_set(
     return np.maximum(dist[:n] - 1.0, 0.0)
 
 
+def _distance_rows(
+    graph: DiGraph,
+    sources: np.ndarray,
+    edge_costs: np.ndarray,
+    *,
+    reverse: bool,
+    engine: str,
+    heap: str,
+    row_cache=None,
+    cost_key=None,
+) -> np.ndarray:
+    """Per-source shortest-path rows, drawn from *row_cache* when possible.
+
+    Falls back to :func:`multi_source_distances` directly (identical
+    values) when no cache or no content key is available.
+    """
+    if row_cache is None or cost_key is None:
+        return multi_source_distances(
+            graph, sources, weights=edge_costs, engine=engine, heap=heap,
+            reverse=reverse,
+        )
+    return row_cache.distance_rows(
+        graph, sources, edge_costs, reverse=reverse, engine=engine, heap=heap,
+        cost_key=cost_key,
+    )
+
+
 def _bank_capacities(
     histogram: np.ndarray, banks: BankAllocation, deficit: float, bank_shares: str
 ) -> np.ndarray:
@@ -109,9 +148,10 @@ def _bank_capacities(
     if bank_shares == "size":
         shares = sizes / sizes.sum()
     elif bank_shares == "mass":
-        cluster_mass = np.array(
-            [float(histogram[np.asarray(c)].sum()) for c in banks.clusters]
-        )
+        cluster_of = banks.cluster_of(histogram.shape[0])
+        cluster_mass = np.bincount(
+            cluster_of, weights=histogram, minlength=nc
+        ).astype(np.float64)
         total = cluster_mass.sum()
         shares = cluster_mass / total if total > 0 else sizes / sizes.sum()
     else:
@@ -135,6 +175,8 @@ def emd_star_term_fast(
     solver: str = "ssp",
     bank_metric: str = "nearest",
     bank_shares: str = "mass",
+    row_cache=None,
+    cost_key=None,
     stats: FastTermStats | None = None,
 ) -> float:
     """One EMD* term of Eq. 3 via the Theorem 4 reduction.
@@ -151,14 +193,23 @@ def emd_star_term_fast(
     max_cost:
         Assumption-2 bound ``U`` (sizes the unreachable-distance clamp).
     solver:
-        ``"ssp"`` (default) or ``"cost-scaling"`` (integer instances).
+        ``"ssp"`` (default), ``"cost-scaling"``, ``"lp"``, ``"simplex"``,
+        or ``"auto"`` (per-instance size-based selection).
     bank_metric:
         ``"nearest"`` (default, semimetric-preserving) or ``"cluster"``
         (the literal Eq. 4); see :func:`repro.emd.emd_star.build_extension`.
+    row_cache, cost_key:
+        Optional :class:`~repro.snd.batch.DijkstraRowCache` plus the
+        content key of *edge_costs* (state fingerprint, opinion); per-source
+        Dijkstra rows are then reused across terms sharing the key.
     """
     if bank_metric not in ("nearest", "cluster"):
         raise ValidationError(
             f"bank_metric must be 'nearest' or 'cluster', got {bank_metric!r}"
+        )
+    if solver not in SOLVER_CHOICES:
+        raise ValidationError(
+            f"unknown solver {solver!r}; expected one of {sorted(SOLVER_CHOICES)}"
         )
     n = graph.num_nodes
     p = np.asarray(p_hist, dtype=np.float64)
@@ -204,14 +255,16 @@ def emd_star_term_fast(
 
     rows = np.empty((0, n))
     if run_forward and sup_ids.size:
-        rows = multi_source_distances(
-            graph, sup_ids, weights=edge_costs, engine=engine, heap=heap, reverse=False
+        rows = _distance_rows(
+            graph, sup_ids, edge_costs, reverse=False, engine=engine, heap=heap,
+            row_cache=row_cache, cost_key=cost_key,
         )
         d_sc = rows[:, con_ids] if con_ids.size else np.empty((sup_ids.size, 0))
         n_sssp = sup_ids.size
     elif not run_forward and con_ids.size:
-        rows = multi_source_distances(
-            graph, con_ids, weights=edge_costs, engine=engine, heap=heap, reverse=True
+        rows = _distance_rows(
+            graph, con_ids, edge_costs, reverse=True, engine=engine, heap=heap,
+            row_cache=row_cache, cost_key=cost_key,
         )
         d_sc = rows[:, sup_ids].T if sup_ids.size else np.empty((0, con_ids.size))
         n_sssp = con_ids.size
@@ -268,10 +321,30 @@ def emd_star_term_fast(
                     leg = d_block[cluster_of[con_ids], c] if con_ids.size else np.empty(0)
                 bank_leg[int(c)] = np.where(np.isfinite(leg), leg, unreach)
 
-    if solver == "lp":
-        # Dense reduced transportation problem handed to HiGHS — the fast
-        # choice for large n∆ where the pure-Python SSP loop dominates.
-        cost = _solve_reduced_lp(
+    # ---- pick the reduced-problem solver ------------------------------ #
+    n_bank_bins = int(np.count_nonzero(bank_caps[active_bank_clusters] > _EPS))
+    if banks_on_demand_side:
+        folded_rows, folded_cols = sup_ids.size, con_ids.size + n_bank_bins
+    else:
+        folded_rows, folded_cols = sup_ids.size + n_bank_bins, con_ids.size
+    if solver == "auto":
+        solver = select_transport_method(folded_rows, folded_cols)
+    if stats is not None:
+        profile = reduced_problem_profile(
+            sup_amounts, con_amounts, d_sc, unreachable=unreach
+        )
+        stats.n_suppliers = int(sup_ids.size)
+        stats.n_consumers = int(con_ids.size)
+        stats.n_sssp_runs = int(n_sssp)
+        stats.solver = solver
+        stats.n_cluster_runs = int(n_cluster_runs)
+        stats.n_arcs = 0
+        stats.density = profile["density"]
+
+    if solver in ("lp", "simplex"):
+        # Dense bank-folded transportation problem — the fast choice for
+        # large n∆ where per-augmentation overhead dominates the MCF path.
+        cost = _solve_reduced_dense(
             sup_amounts,
             con_amounts,
             d_sc,
@@ -280,12 +353,9 @@ def emd_star_term_fast(
             gamma,
             active_bank_clusters,
             banks_on_demand_side,
+            method=solver,
         )
         if stats is not None:
-            stats.n_suppliers = int(sup_ids.size)
-            stats.n_consumers = int(con_ids.size)
-            stats.n_sssp_runs = int(n_sssp)
-            stats.n_cluster_runs = int(n_cluster_runs)
             stats.cost = float(cost)
         return float(cost)
 
@@ -295,59 +365,65 @@ def emd_star_term_fast(
     bank_base = hub_base + nc
     mcf = MinCostFlowProblem(bank_base + nc * nb)
 
-    for si in range(n_s):
-        mcf.set_supply(si, float(sup_amounts[si]))
-    for tj in range(n_c):
-        mcf.add_supply(n_s + tj, -float(con_amounts[tj]))
+    mcf.supply[:n_s] = sup_amounts
+    mcf.supply[n_s : n_s + n_c] -= con_amounts
 
     inf_cap = total_p + total_q + 1.0
-    for si in range(n_s):
-        for tj in range(n_c):
-            mcf.add_edge(si, n_s + tj, inf_cap, float(d_sc[si, tj]))
+    if n_s and n_c:
+        # Dense supplier x consumer block, in the row-major order the
+        # per-pair loop used.
+        mcf.add_edges(
+            np.repeat(np.arange(n_s), n_c),
+            n_s + np.tile(np.arange(n_c), n_s),
+            np.full(n_s * n_c, inf_cap),
+            d_sc.ravel(),
+        )
 
     if banks_on_demand_side:
         for c in active_bank_clusters:
             leg = bank_leg[int(c)]
-            for si in range(n_s):
-                mcf.add_edge(si, hub_base + c, inf_cap, float(leg[si]))
+            hub = hub_base + int(c)
+            mcf.add_edges(
+                np.arange(n_s),
+                np.full(n_s, hub),
+                np.full(n_s, inf_cap),
+                leg,
+            )
             for j in range(nb):
                 cap = float(bank_caps[c, j])
                 if cap > _EPS:
-                    bank_node = bank_base + c * nb + j
-                    mcf.add_edge(hub_base + c, bank_node, inf_cap, float(gamma[c, j]))
+                    bank_node = bank_base + int(c) * nb + j
+                    mcf.add_edge(hub, bank_node, inf_cap, float(gamma[c, j]))
                     mcf.add_supply(bank_node, -cap)
     else:
         for c in active_bank_clusters:
             leg = bank_leg[int(c)]
+            hub = hub_base + int(c)
             for j in range(nb):
                 cap = float(bank_caps[c, j])
                 if cap > _EPS:
-                    bank_node = bank_base + c * nb + j
-                    mcf.add_edge(bank_node, hub_base + c, inf_cap, float(gamma[c, j]))
+                    bank_node = bank_base + int(c) * nb + j
+                    mcf.add_edge(bank_node, hub, inf_cap, float(gamma[c, j]))
                     mcf.add_supply(bank_node, cap)
-            for tj in range(n_c):
-                mcf.add_edge(hub_base + c, n_s + tj, inf_cap, float(leg[tj]))
+            mcf.add_edges(
+                np.full(n_c, hub),
+                n_s + np.arange(n_c),
+                np.full(n_c, inf_cap),
+                leg,
+            )
 
     if solver == "ssp":
         solution = solve_mcf_ssp(mcf)
-    elif solver == "cost-scaling":
+    else:  # "cost-scaling"
         solution = _solve_scaled_integer(mcf)
-    else:
-        raise ValidationError(
-            f"unknown solver {solver!r}; expected 'ssp', 'cost-scaling', or 'lp'"
-        )
 
     if stats is not None:
-        stats.n_suppliers = int(n_s)
-        stats.n_consumers = int(n_c)
-        stats.n_sssp_runs = int(n_sssp)
-        stats.n_cluster_runs = int(n_cluster_runs)
         stats.n_arcs = mcf.n_edges
         stats.cost = float(solution.cost)
     return float(solution.cost)
 
 
-def _solve_reduced_lp(
+def _solve_reduced_dense(
     sup_amounts: np.ndarray,
     con_amounts: np.ndarray,
     d_sc: np.ndarray,
@@ -356,13 +432,17 @@ def _solve_reduced_lp(
     gamma: np.ndarray,
     active_bank_clusters: np.ndarray,
     banks_on_demand_side: bool,
+    *,
+    method: str = "lp",
 ) -> float:
-    """Solve the reduced problem as one dense transportation LP.
+    """Solve the reduced problem as one dense transportation instance.
 
     Bank bins are appended as extra consumers (or suppliers); the hub
-    decomposition is folded back into per-pair costs ``leg + γ``.
+    decomposition is folded back into per-pair costs ``leg + γ``. The
+    instance is handed to :func:`repro.flow.solve_transportation` with
+    *method* (``"lp"`` — HiGHS — or ``"simplex"`` — MODI).
     """
-    from repro.flow.lp_reference import solve_transportation_lp
+    from repro.flow import solve_transportation
     from repro.flow.problem import TransportationProblem
 
     bank_cols: list[np.ndarray] = []
@@ -395,7 +475,7 @@ def _solve_reduced_lp(
     if supplies.size == 0 or demands.size == 0:
         return 0.0
     problem = TransportationProblem(supplies, demands, costs)
-    return float(solve_transportation_lp(problem).cost)
+    return float(solve_transportation(problem, method=method).cost)
 
 
 def _solve_scaled_integer(mcf: MinCostFlowProblem):
@@ -426,13 +506,12 @@ def _solve_scaled_integer(mcf: MinCostFlowProblem):
         cost_scale = 1e6
 
     scaled = MinCostFlowProblem(mcf.n_nodes)
-    for e in range(len(tails)):
-        scaled.add_edge(
-            int(tails[e]),
-            int(heads[e]),
-            float(np.round(caps[e] * mass_scale)),
-            float(np.round(costs[e] * cost_scale)),
-        )
+    scaled.add_edges(
+        tails,
+        heads,
+        np.round(caps * mass_scale),
+        np.round(costs * cost_scale),
+    )
     scaled.supply = np.round(supply * mass_scale)
     # Rounding can break balance by a unit; repair on the largest entry.
     imbalance = scaled.supply.sum()

@@ -29,8 +29,14 @@ from repro.opinions.models.base import OpinionModel
 from repro.opinions.models.model_agnostic import ModelAgnostic
 from repro.opinions.state import NEGATIVE, POSITIVE, NetworkState, StateSeries
 from repro.snd.banks import BankAllocation, allocate_banks
-from repro.snd.batch import GroundCostCache, evaluate_series, pairwise_matrix
-from repro.snd.fast import FastTermStats, emd_star_term_fast
+from repro.snd.batch import (
+    DijkstraRowCache,
+    GroundCostCache,
+    TransitionCache,
+    evaluate_series,
+    pairwise_matrix,
+)
+from repro.snd.fast import SOLVER_CHOICES, FastTermStats, emd_star_term_fast
 from repro.snd.ground import DEFAULT_MAX_COST, GroundDistanceConfig
 
 __all__ = ["SND", "SNDResult"]
@@ -135,12 +141,18 @@ class SND:
         )
         if engine not in ("scipy", "python"):
             raise ValidationError(f"unknown engine {engine!r}")
+        if solver not in SOLVER_CHOICES:
+            raise ValidationError(
+                f"unknown solver {solver!r}; expected one of {sorted(SOLVER_CHOICES)}"
+            )
         self.engine = engine
         self.heap = heap
         self.solver = solver
         self.bank_metric = bank_metric
         self.bank_shares = bank_shares
         self._ground_cache: GroundCostCache | None = None
+        self._row_cache: DijkstraRowCache | None = None
+        self._transition_cache: TransitionCache | None = None
 
     # ------------------------------------------------------------------ #
 
@@ -157,6 +169,8 @@ class SND:
         opinion: int,
         *,
         edge_costs: np.ndarray | None = None,
+        row_cache: DijkstraRowCache | None = None,
+        cost_key=None,
         stats: FastTermStats | None = None,
     ) -> float:
         """One EMD* term: mass of *opinion* moving from *supplier_state*'s
@@ -166,6 +180,10 @@ class SND:
         *edge_costs* short-circuits the Eq. 2 build with a precomputed
         CSR-aligned cost array (the batch engine passes cached arrays); it
         must equal ``self.ground.edge_costs(graph, supplier_state, opinion)``.
+        *row_cache* / *cost_key* (the batch engine's ``(state fingerprint,
+        opinion)`` content key for *edge_costs*) additionally reuse
+        per-source Dijkstra rows across terms — value-preserving, see
+        :class:`~repro.snd.batch.DijkstraRowCache`.
         """
         self._check_state(supplier_state)
         self._check_state(consumer_state)
@@ -183,6 +201,8 @@ class SND:
             solver=self.solver,
             bank_metric=self.bank_metric,
             bank_shares=self.bank_shares,
+            row_cache=row_cache,
+            cost_key=cost_key,
             stats=stats,
         )
 
@@ -218,6 +238,29 @@ class SND:
             self._ground_cache = GroundCostCache()
         return self._ground_cache
 
+    @property
+    def row_cache(self) -> DijkstraRowCache:
+        """The instance-level per-source Dijkstra row cache.
+
+        Created lazily; the batch APIs reuse rows of sources whose
+        supplier-side costs did not change between terms (value-preserving
+        — see :class:`~repro.snd.batch.DijkstraRowCache`).
+        """
+        if self._row_cache is None:
+            self._row_cache = DijkstraRowCache()
+        return self._row_cache
+
+    @property
+    def transition_cache(self) -> TransitionCache:
+        """The instance-level cache of finished transition values.
+
+        Created lazily; windowed sweeps (``window=``) draw from it so a
+        window shifted by one state re-solves exactly one transition.
+        """
+        if self._transition_cache is None:
+            self._transition_cache = TransitionCache()
+        return self._transition_cache
+
     def evaluate_series(
         self,
         series: StateSeries,
@@ -225,20 +268,33 @@ class SND:
         jobs: int | None = None,
         cache: GroundCostCache | None = None,
         executor: str = "process",
+        transitions: TransitionCache | None = None,
+        row_cache: DijkstraRowCache | None = None,
+        window: int | None = None,
     ) -> np.ndarray:
         """Adjacent-state distances with ground-cost caching and an
         optional ``jobs``-way parallel fan-out.
 
-        Bit-identical to the naive per-pair loop; see
-        :func:`repro.snd.batch.evaluate_series` for the caching and
-        parallelism contract.
+        ``window=W`` switches to incremental sliding-window evaluation:
+        the series is processed through overlapping length-``W`` windows
+        sharing the instance :attr:`transition_cache`, so each one-state
+        shift re-solves exactly one fresh transition (repeat calls over
+        overlapping series reuse earlier sweeps the same way). The
+        returned ``(T-1,)`` array is bit-identical to the from-scratch
+        sweep in every mode; see :func:`repro.snd.batch.evaluate_series`
+        for the caching and parallelism contract.
         """
+        if window is not None and transitions is None:
+            transitions = self.transition_cache
         return evaluate_series(
             self,
             series,
             jobs=jobs,
             cache=cache if cache is not None else self.ground_cache,
             executor=executor,
+            transitions=transitions,
+            row_cache=row_cache if row_cache is not None else self.row_cache,
+            window=window,
         )
 
     def pairwise_matrix(
@@ -248,6 +304,7 @@ class SND:
         jobs: int | None = None,
         cache: GroundCostCache | None = None,
         executor: str = "process",
+        row_cache: DijkstraRowCache | None = None,
     ) -> np.ndarray:
         """Symmetric all-pairs SND matrix (upper triangle evaluated once).
 
@@ -267,6 +324,7 @@ class SND:
             jobs=jobs,
             cache=cache,
             executor=executor,
+            row_cache=row_cache if row_cache is not None else self.row_cache,
         )
 
     def distance_series(self, series: StateSeries) -> np.ndarray:

@@ -1,6 +1,14 @@
-"""Shared fixtures: small graphs and states reused across test modules."""
+"""Shared fixtures: small graphs, states, and the seeded ``rng`` generator.
+
+Also registers the ``slow`` marker: long-running property suites (the
+cross-solver equivalence harness, full sliding-window matrices) are marked
+``@pytest.mark.slow`` and skipped unless ``--runslow`` is passed, so the
+tier-1 run stays fast while CI's property-suite job runs them fully.
+"""
 
 from __future__ import annotations
+
+import zlib
 
 import numpy as np
 import pytest
@@ -8,6 +16,42 @@ import pytest
 from repro.graph.digraph import DiGraph
 from repro.graph.generators import erdos_renyi_graph, two_cluster_graph
 from repro.opinions.state import NetworkState
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="run tests marked @pytest.mark.slow (full property suites)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running property suite (runs with --runslow)"
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow property suite; pass --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
+
+
+@pytest.fixture
+def rng(request) -> np.random.Generator:
+    """Seeded random generator, stable per test node id.
+
+    Every randomized test draws from this fixture so runs are reproducible
+    and two tests never share a stream; parametrized cases get distinct
+    seeds because the node id includes the parameter repr.
+    """
+    seed = zlib.crc32(request.node.nodeid.encode())
+    return np.random.default_rng(seed)
 
 
 @pytest.fixture

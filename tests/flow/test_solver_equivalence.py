@@ -1,0 +1,359 @@
+"""Cross-solver equivalence harness (property tests).
+
+Randomized balanced transportation and min-cost-flow instances —
+parametrized over size, density (fraction of cheaply-connected pairs),
+integer vs float costs, and degenerate supplies (zero bins, tie-heavy
+costs) — are solved by every exact solver in the library:
+
+* ``solve_transportation_ssp`` under all three Dijkstra kernels
+  (``heap`` / ``vector`` / ``argmin``),
+* ``solve_transportation_simplex`` (MODI),
+* ``solve_transportation_lp`` (HiGHS reference),
+* ``solve_mcf_cost_scaling`` (on the bipartite MCF form; integer
+  instances only),
+
+asserting all optimal costs agree within ``1e-9`` (relative to the cost
+scale) and that **every returned plan** satisfies the feasibility and
+reduced-cost optimality invariants: flow conservation, capacity bounds,
+and the absence of a negative-cost cycle in the residual/exchange graph
+(the complementary-slackness certificate).
+
+A small smoke subset runs in tier-1; the full matrix is marked
+``@pytest.mark.slow`` and runs in CI's property-suite job (``--runslow``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.flow import (
+    MinCostFlowProblem,
+    TransportationProblem,
+    solve_mcf_cost_scaling,
+    solve_mcf_ssp,
+    solve_transportation,
+    solve_transportation_lp,
+    solve_transportation_simplex,
+    solve_transportation_ssp,
+)
+
+#: Cross-solver agreement budget (absolute, costs are O(1e3) at most).
+AGREE_TOL = 1e-9
+#: Slack for invariant checks on plans returned by the float LP solver.
+FEAS_TOL = 1e-6
+
+SSP_KERNELS = ("heap", "vector", "argmin")
+
+
+# --------------------------------------------------------------------- #
+# Instance generators
+# --------------------------------------------------------------------- #
+
+
+def make_transportation(
+    rng: np.random.Generator,
+    n: int,
+    m: int,
+    *,
+    integer_costs: bool = True,
+    density: float = 1.0,
+    degenerate: bool = False,
+) -> TransportationProblem:
+    """A random *balanced* transportation instance.
+
+    ``density`` is the fraction of supplier/consumer pairs with a cheap
+    cost; the rest get a large uniform cost, modelling effectively
+    disconnected pairs. ``degenerate`` zeroes random bins and flattens
+    costs onto a coarse grid so solvers face ties and empty rows/columns.
+    """
+    supplies = rng.integers(0, 12, n).astype(np.float64)
+    demands = rng.integers(0, 12, m).astype(np.float64)
+    if degenerate:
+        supplies[rng.random(n) < 0.4] = 0.0
+        demands[rng.random(m) < 0.4] = 0.0
+    gap = supplies.sum() - demands.sum()
+    if gap > 0:
+        demands[-1] += gap
+    elif gap < 0:
+        supplies[-1] += -gap
+    if integer_costs:
+        costs = rng.integers(0, 20, (n, m)).astype(np.float64)
+    else:
+        costs = np.round(rng.random((n, m)) * 20.0, 6)
+    if density < 1.0:
+        costs = np.where(rng.random((n, m)) < density, costs, 1000.0)
+    if degenerate:
+        costs = np.floor(costs / 4.0) * 4.0
+    return TransportationProblem(supplies, demands, costs)
+
+
+def transportation_as_mcf(problem: TransportationProblem) -> MinCostFlowProblem:
+    """The bipartite MCF form of a balanced transportation instance
+    (integer costs/supplies), for the cost-scaling solver."""
+    n, m = problem.n_suppliers, problem.n_consumers
+    mcf = MinCostFlowProblem(n + m)
+    cap = float(np.ceil(problem.total_supply)) + 1.0
+    mcf.supply[:n] = problem.supplies
+    mcf.supply[n:] = -problem.demands
+    mcf.add_edges(
+        np.repeat(np.arange(n), m),
+        n + np.tile(np.arange(m), n),
+        np.full(n * m, cap),
+        problem.costs.ravel(),
+    )
+    return mcf
+
+
+def make_mcf(
+    rng: np.random.Generator, n: int, n_arcs: int, *, integer: bool = True
+) -> MinCostFlowProblem:
+    """A random balanced MCF instance, feasible by construction (every
+    source has a high-cost backbone arc to the sink)."""
+    mcf = MinCostFlowProblem(n)
+    n_sources = max(1, n // 4)
+    supply = rng.integers(1, 6, n_sources).astype(np.float64)
+    mcf.supply[:n_sources] = supply
+    mcf.supply[n - 1] = -supply.sum()
+    total = float(supply.sum())
+    mcf.add_edges(
+        np.arange(n_sources),
+        np.full(n_sources, n - 1),
+        np.full(n_sources, total),
+        np.full(n_sources, 100.0),
+    )
+    tails = rng.integers(0, n, n_arcs)
+    heads = rng.integers(0, n, n_arcs)
+    keep = tails != heads
+    caps = rng.integers(1, 9, int(keep.sum())).astype(np.float64)
+    if integer:
+        costs = rng.integers(0, 30, int(keep.sum())).astype(np.float64)
+    else:
+        costs = np.round(rng.random(int(keep.sum())) * 30.0, 6)
+    mcf.add_edges(tails[keep], heads[keep], caps, costs)
+    return mcf
+
+
+# --------------------------------------------------------------------- #
+# Invariant checks
+# --------------------------------------------------------------------- #
+
+
+def _assert_no_negative_cycle(
+    n_nodes: int,
+    tails: np.ndarray,
+    heads: np.ndarray,
+    weights: np.ndarray,
+    *,
+    tol: float,
+    label: str,
+) -> None:
+    """Bellman–Ford convergence check: valid potentials exist (no negative
+    residual cycle) iff relaxation reaches a fixed point within n rounds."""
+    if len(tails) == 0:
+        return
+    dist = np.zeros(n_nodes)
+    for _ in range(n_nodes + 1):
+        alt = dist[tails] + weights
+        new = dist.copy()
+        np.minimum.at(new, heads, alt)
+        if np.all(dist - new <= tol):
+            return
+        dist = new
+    pytest.fail(f"{label}: residual graph has a negative cycle — plan not optimal")
+
+
+def assert_transportation_plan_optimal(
+    problem: TransportationProblem, plan, *, label: str
+) -> None:
+    """Feasibility + reduced-cost optimality of a transportation plan."""
+    plan.validate(problem)  # shape, non-negativity, marginals, moved mass
+    n, m = problem.n_suppliers, problem.n_consumers
+    if n == 0 or m == 0 or problem.moved_mass <= 0.0:
+        return
+    scale = max(1.0, float(problem.costs.max()))
+    flows = plan.flows
+    # Exchange graph: i -> j at c_ij always (f_ij can grow), j -> i at
+    # -c_ij where f_ij > 0 (it can shrink). Optimal iff no negative cycle.
+    fwd_tails = np.repeat(np.arange(n), m)
+    fwd_heads = n + np.tile(np.arange(m), n)
+    fwd_costs = problem.costs.ravel()
+    back = flows.ravel() > FEAS_TOL
+    tails = np.concatenate([fwd_tails, fwd_heads[back]])
+    heads = np.concatenate([fwd_heads, fwd_tails[back]])
+    weights = np.concatenate([fwd_costs, -fwd_costs[back]])
+    _assert_no_negative_cycle(
+        n + m, tails, heads, weights, tol=FEAS_TOL * scale, label=label
+    )
+
+
+def assert_mcf_solution_optimal(mcf: MinCostFlowProblem, flows, *, label: str) -> None:
+    """Conservation, capacity bounds, and reduced-cost optimality of a
+    min-cost-flow solution."""
+    tails, heads, caps, costs = mcf.arrays()
+    flows = np.asarray(flows, dtype=np.float64)
+    scale = max(1.0, float(np.abs(mcf.supply).sum()))
+    assert flows.min() >= -FEAS_TOL * scale, f"{label}: negative arc flow"
+    assert np.all(flows <= caps + FEAS_TOL * scale), f"{label}: capacity violated"
+    outflow = np.bincount(tails, weights=flows, minlength=mcf.n_nodes)
+    inflow = np.bincount(heads, weights=flows, minlength=mcf.n_nodes)
+    imbalance = np.abs(outflow - inflow - mcf.supply)
+    assert imbalance.max() <= FEAS_TOL * scale, (
+        f"{label}: flow conservation violated by {imbalance.max()}"
+    )
+    cost_scale = max(1.0, float(np.abs(costs).max()) if len(costs) else 1.0)
+    usable_fwd = flows < caps - FEAS_TOL
+    usable_bwd = flows > FEAS_TOL
+    res_tails = np.concatenate([tails[usable_fwd], heads[usable_bwd]])
+    res_heads = np.concatenate([heads[usable_fwd], tails[usable_bwd]])
+    res_costs = np.concatenate([costs[usable_fwd], -costs[usable_bwd]])
+    _assert_no_negative_cycle(
+        mcf.n_nodes, res_tails, res_heads, res_costs,
+        tol=FEAS_TOL * cost_scale, label=label,
+    )
+
+
+def check_transportation_instance(problem: TransportationProblem) -> None:
+    """Solve with every applicable solver; assert agreement + invariants."""
+    plans = {}
+    for kernel in SSP_KERNELS:
+        plans[f"ssp-{kernel}"] = solve_transportation_ssp(problem, kernel=kernel)
+    plans["simplex"] = solve_transportation_simplex(problem)
+    plans["lp"] = solve_transportation_lp(problem)
+    plans["auto"] = solve_transportation(problem, method="auto")
+
+    integral = bool(
+        np.allclose(problem.costs, np.round(problem.costs))
+        and np.allclose(problem.supplies, np.round(problem.supplies))
+        and np.allclose(problem.demands, np.round(problem.demands))
+    )
+    cs_cost = None
+    if integral:
+        cs_solution = solve_mcf_cost_scaling(transportation_as_mcf(problem))
+        cs_cost = cs_solution.cost
+
+    reference = plans["lp"].cost
+    scale = max(1.0, abs(reference))
+    for name, plan in plans.items():
+        assert plan.cost == pytest.approx(reference, abs=AGREE_TOL * scale), (
+            f"{name} disagrees with lp_reference: {plan.cost} vs {reference}"
+        )
+        assert_transportation_plan_optimal(problem, plan, label=name)
+    if cs_cost is not None:
+        assert cs_cost == pytest.approx(reference, abs=AGREE_TOL * scale), (
+            f"cost-scaling disagrees with lp_reference: {cs_cost} vs {reference}"
+        )
+
+
+def check_mcf_instance(mcf_factory) -> None:
+    """Solve a (re-buildable) MCF instance with every kernel + solver."""
+    solutions = {}
+    for kernel in SSP_KERNELS:
+        solutions[f"ssp-{kernel}"] = (mcf := mcf_factory(), solve_mcf_ssp(mcf, kernel=kernel))
+    probe = mcf_factory()
+    _, _, caps, costs = probe.arrays()
+    integral = bool(
+        np.allclose(costs, np.round(costs))
+        and np.allclose(caps, np.round(caps))
+        and np.allclose(probe.supply, np.round(probe.supply))
+    )
+    if integral:
+        solutions["cost-scaling"] = (mcf := mcf_factory(), solve_mcf_cost_scaling(mcf))
+
+    reference = solutions["ssp-heap"][1].cost
+    scale = max(1.0, abs(reference))
+    for name, (mcf, solution) in solutions.items():
+        assert solution.cost == pytest.approx(reference, abs=AGREE_TOL * scale), (
+            f"{name} disagrees with ssp-heap: {solution.cost} vs {reference}"
+        )
+        assert_mcf_solution_optimal(mcf, solution.flows, label=name)
+
+
+# --------------------------------------------------------------------- #
+# Tier-1 smoke subset
+# --------------------------------------------------------------------- #
+
+
+class TestEquivalenceSmoke:
+    @pytest.mark.parametrize("n,m", [(1, 1), (3, 4), (6, 6)])
+    def test_transportation_small(self, rng, n, m):
+        check_transportation_instance(make_transportation(rng, n, m))
+
+    def test_transportation_degenerate(self, rng):
+        check_transportation_instance(
+            make_transportation(rng, 5, 5, degenerate=True)
+        )
+
+    def test_transportation_float_costs(self, rng):
+        check_transportation_instance(
+            make_transportation(rng, 4, 6, integer_costs=False)
+        )
+
+    def test_mcf_small(self, rng):
+        seed = int(rng.integers(0, 2**32))
+        check_mcf_instance(
+            lambda: make_mcf(np.random.default_rng(seed), 10, 25)
+        )
+
+    def test_all_zero_mass(self):
+        problem = TransportationProblem(np.zeros(3), np.zeros(2), np.ones((3, 2)))
+        check_transportation_instance(problem)
+
+    def test_auto_kernel_policy(self, monkeypatch):
+        import repro.flow.ssp as ssp_mod
+        from repro.flow import select_mcf_kernel
+
+        # With scipy importable the vector kernel wins on every measured
+        # shape; without it the heap loop is kept.
+        assert select_mcf_kernel(50, 100) == "vector"
+        assert select_mcf_kernel(100_000, 200_000) == "vector"
+        monkeypatch.setattr(ssp_mod, "_sp_dijkstra", None)
+        assert select_mcf_kernel(50, 100) == "heap"
+
+
+# --------------------------------------------------------------------- #
+# Full property matrix (CI property-suite job)
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.slow
+class TestEquivalenceMatrix:
+    @pytest.mark.parametrize("n,m", [(2, 2), (3, 7), (6, 6), (9, 5), (12, 12), (16, 16)])
+    @pytest.mark.parametrize("density", [1.0, 0.4])
+    @pytest.mark.parametrize("integer_costs", [True, False])
+    @pytest.mark.parametrize("degenerate", [False, True])
+    def test_transportation_matrix(self, rng, n, m, density, integer_costs, degenerate):
+        problem = make_transportation(
+            rng, n, m,
+            integer_costs=integer_costs, density=density, degenerate=degenerate,
+        )
+        check_transportation_instance(problem)
+
+    @pytest.mark.parametrize("n,n_arcs", [(8, 20), (16, 40), (16, 120), (32, 90), (48, 300)])
+    @pytest.mark.parametrize("integer", [True, False])
+    def test_mcf_matrix(self, rng, n, n_arcs, integer):
+        seed = int(rng.integers(0, 2**32))
+        check_mcf_instance(
+            lambda: make_mcf(np.random.default_rng(seed), n, n_arcs, integer=integer)
+        )
+
+    @pytest.mark.parametrize("trial", range(10))
+    def test_unbalanced_partial_transport(self, rng, trial):
+        """Unbalanced instances: the solvers move min(supply, demand) mass
+        and still agree (the EMD partial-transport semantics)."""
+        n, m = int(rng.integers(1, 8)), int(rng.integers(1, 8))
+        supplies = rng.integers(0, 12, n).astype(np.float64)
+        demands = rng.integers(0, 12, m).astype(np.float64)
+        costs = rng.integers(0, 20, (n, m)).astype(np.float64)
+        problem = TransportationProblem(supplies, demands, costs)
+        plans = {
+            f"ssp-{kernel}": solve_transportation_ssp(problem, kernel=kernel)
+            for kernel in SSP_KERNELS
+        }
+        plans["simplex"] = solve_transportation_simplex(problem)
+        plans["lp"] = solve_transportation_lp(problem)
+        reference = plans["lp"].cost
+        scale = max(1.0, abs(reference))
+        for name, plan in plans.items():
+            assert plan.cost == pytest.approx(reference, abs=AGREE_TOL * scale), name
+            plan.validate(problem)

@@ -1,4 +1,4 @@
-"""Tests for the batch SND engine: ground-cost cache, series, pairwise."""
+"""Tests for the batch SND engine: caches, series, windows, pairwise."""
 
 import pickle
 
@@ -7,21 +7,30 @@ import pytest
 
 from repro.exceptions import ValidationError
 from repro.graph.generators import erdos_renyi_graph
-from repro.opinions.models.model_agnostic import ModelAgnostic
 from repro.opinions.state import NetworkState, StateSeries
-from repro.snd import SND, GroundCostCache
-from repro.snd.batch import _chunk_ranges
+from repro.snd import SND, DijkstraRowCache, GroundCostCache, TransitionCache
+from repro.snd.batch import _chunk_ranges, _missing_runs
 
 
-def random_series(n: int, length: int, seed: int) -> StateSeries:
-    """A seeded synthetic series where each step flips a few opinions."""
-    rng = np.random.default_rng(seed)
+def random_series(n: int, length: int, rng: np.random.Generator) -> StateSeries:
+    """A synthetic series where each step flips a few random opinions."""
     values = np.zeros(n, dtype=np.int8)
     states = []
     for _ in range(length):
         values = values.copy()
         idx = rng.integers(0, n, size=max(2, n // 10))
         values[idx] = rng.integers(-1, 2, size=idx.size)
+        states.append(NetworkState(values))
+    return StateSeries(states)
+
+
+def distinct_series(n: int, length: int) -> StateSeries:
+    """A series of pairwise-distinct states (state t has users ``0..t``
+    positive), for tests that count cache entries per transition."""
+    states = []
+    for t in range(length):
+        values = np.zeros(n, dtype=np.int8)
+        values[: t + 1] = 1
         states.append(NetworkState(values))
     return StateSeries(states)
 
@@ -84,10 +93,109 @@ class TestGroundCostCache:
         clone.edge_costs(snd.ground, graph, NetworkState.neutral(40), 1)
 
 
+class TestTransitionCache:
+    def test_get_put_roundtrip(self):
+        cache = TransitionCache()
+        a = NetworkState.from_active_sets(10, positive=[0])
+        b = NetworkState.from_active_sets(10, positive=[1])
+        assert cache.get(a, b) is None
+        cache.put(a, b, 2.5)
+        assert cache.get(a, b) == 2.5
+        assert cache.fresh == 1 and cache.reused == 1
+
+    def test_key_is_ordered(self):
+        # Eq. 3 is symmetric, but summation order differs under a swap, so
+        # the cache must not conflate (a, b) with (b, a).
+        cache = TransitionCache()
+        a = NetworkState.from_active_sets(10, positive=[0])
+        b = NetworkState.from_active_sets(10, positive=[1])
+        cache.put(a, b, 1.0)
+        assert cache.get(b, a) is None
+
+    def test_keyed_by_content(self):
+        cache = TransitionCache()
+        a1 = NetworkState.from_active_sets(10, positive=[0])
+        a2 = NetworkState.from_active_sets(10, positive=[0])
+        b = NetworkState.from_active_sets(10, positive=[1])
+        cache.put(a1, b, 3.0)
+        assert cache.get(a2, b) == 3.0
+
+    def test_lru_bound(self):
+        cache = TransitionCache(maxsize=2)
+        states = [NetworkState.from_active_sets(10, positive=[k]) for k in range(4)]
+        for k in range(3):
+            cache.put(states[k], states[k + 1], float(k))
+        assert len(cache) == 2
+        assert cache.get(states[0], states[1]) is None  # evicted
+
+    def test_pickle_drops_entries(self):
+        cache = TransitionCache()
+        a = NetworkState.from_active_sets(10, positive=[0])
+        b = NetworkState.from_active_sets(10, positive=[1])
+        cache.put(a, b, 1.0)
+        clone = pickle.loads(pickle.dumps(cache))
+        assert len(clone) == 0 and clone.maxsize == cache.maxsize
+
+
+class TestDijkstraRowCache:
+    def _rows_direct(self, graph, snd, state, sources, *, reverse=False):
+        from repro.shortestpath.dijkstra import multi_source_distances
+
+        costs = snd.ground.edge_costs(graph, state, 1)
+        return multi_source_distances(
+            graph, sources, weights=costs, engine="scipy", reverse=reverse
+        )
+
+    def test_stitched_rows_identical(self, graph, snd):
+        state = NetworkState.from_active_sets(40, positive=[1, 5, 9])
+        costs = snd.ground.edge_costs(graph, state, 1)
+        key = (GroundCostCache.fingerprint(state), 1)
+        cache = DijkstraRowCache()
+        # Prime two of four sources, then ask for all four: the stitched
+        # matrix must equal one direct batched run bit-for-bit.
+        cache.distance_rows(
+            graph, [1, 9], costs, reverse=False, engine="scipy", heap="binary",
+            cost_key=key,
+        )
+        stitched = cache.distance_rows(
+            graph, [1, 5, 9, 12], costs, reverse=False, engine="scipy",
+            heap="binary", cost_key=key,
+        )
+        direct = self._rows_direct(graph, snd, state, [1, 5, 9, 12])
+        assert np.array_equal(stitched, direct)
+        assert cache.hits == 2 and cache.misses == 4
+
+    def test_reverse_part_of_key(self, graph, snd):
+        state = NetworkState.from_active_sets(40, positive=[2])
+        costs = snd.ground.edge_costs(graph, state, 1)
+        key = (GroundCostCache.fingerprint(state), 1)
+        cache = DijkstraRowCache()
+        fwd = cache.distance_rows(
+            graph, [2], costs, reverse=False, engine="scipy", heap="binary",
+            cost_key=key,
+        )
+        rev = cache.distance_rows(
+            graph, [2], costs, reverse=True, engine="scipy", heap="binary",
+            cost_key=key,
+        )
+        assert cache.misses == 2  # no cross-direction hit
+        direct_rev = self._rows_direct(graph, snd, state, [2], reverse=True)
+        assert np.array_equal(rev, direct_rev)
+        assert fwd.shape == rev.shape
+
+    def test_eviction_pressure_preserves_values(self, graph, snd, rng):
+        series = random_series(40, 6, rng)
+        reference = SND(graph, n_clusters=3, seed=0).pairwise_matrix(list(series))
+        pressured = SND(graph, n_clusters=3, seed=0).pairwise_matrix(
+            list(series), row_cache=DijkstraRowCache(1)
+        )
+        assert np.array_equal(reference, pressured)
+
+
 class TestEvaluateSeries:
-    @pytest.mark.parametrize("seed", [1, 2, 3])
-    def test_cached_matches_naive_loop(self, snd, seed):
-        series = random_series(40, 8, seed)
+    @pytest.mark.parametrize("trial", [1, 2, 3])
+    def test_cached_matches_naive_loop(self, snd, rng, trial):
+        series = random_series(40, 8, rng)
         naive = np.array([snd.distance(a, b) for a, b in series.transitions()])
         cache = GroundCostCache()
         batched = snd.evaluate_series(series, cache=cache)
@@ -95,14 +203,14 @@ class TestEvaluateSeries:
         assert cache.builds <= 2 * (len(series) - 1) + 2
 
     @pytest.mark.parametrize("executor", ["process", "thread"])
-    def test_parallel_matches_naive_loop(self, snd, executor):
-        series = random_series(40, 8, seed=4)
+    def test_parallel_matches_naive_loop(self, snd, rng, executor):
+        series = random_series(40, 8, rng)
         naive = np.array([snd.distance(a, b) for a, b in series.transitions()])
         batched = snd.evaluate_series(series, jobs=2, executor=executor)
         assert np.max(np.abs(batched - naive)) <= 1e-9
 
-    def test_distance_series_unchanged(self, snd):
-        series = random_series(40, 6, seed=5)
+    def test_distance_series_unchanged(self, snd, rng):
+        series = random_series(40, 6, rng)
         expected = np.array([snd.distance(a, b) for a, b in series.transitions()])
         assert np.array_equal(snd.distance_series(series), expected)
 
@@ -110,36 +218,161 @@ class TestEvaluateSeries:
         series = StateSeries([NetworkState.neutral(40)])
         assert snd.evaluate_series(series).size == 0
 
-    def test_more_jobs_than_transitions(self, snd):
-        series = random_series(40, 3, seed=6)
+    def test_more_jobs_than_transitions(self, snd, rng):
+        series = random_series(40, 3, rng)
         naive = np.array([snd.distance(a, b) for a, b in series.transitions()])
         batched = snd.evaluate_series(series, jobs=16, executor="thread")
         assert np.max(np.abs(batched - naive)) <= 1e-9
 
-    def test_unknown_executor_rejected(self, snd):
-        series = random_series(40, 4, seed=7)
+    def test_unknown_executor_rejected(self, snd, rng):
+        series = random_series(40, 4, rng)
         with pytest.raises(ValidationError):
             snd.evaluate_series(series, jobs=2, executor="gpu")
 
-    def test_instance_cache_shared_across_calls(self, graph):
+    def test_instance_cache_shared_across_calls(self, graph, rng):
         snd = SND(graph, n_clusters=3, seed=0)
-        series = random_series(40, 5, seed=8)
+        series = random_series(40, 5, rng)
         snd.evaluate_series(series)
         builds_first = snd.ground_cache.builds
         snd.evaluate_series(series)  # same states: everything cached
         assert snd.ground_cache.builds == builds_first
 
+    def test_transitions_cache_skips_solved(self, graph, rng):
+        snd = SND(graph, n_clusters=3, seed=0)
+        series = random_series(40, 6, rng)
+        cache = TransitionCache()
+        first = snd.evaluate_series(series, transitions=cache)
+        solved = cache.fresh
+        second = snd.evaluate_series(series, transitions=cache)
+        assert np.array_equal(first, second)
+        assert cache.fresh == solved  # nothing re-solved
+
+
+class TestSlidingWindow:
+    @pytest.mark.parametrize("window", [2, 3, 5])
+    def test_windowed_identical_to_scratch(self, graph, rng, window):
+        series = random_series(40, 7, rng)
+        scratch = SND(graph, n_clusters=3, seed=0).evaluate_series(series)
+        snd = SND(graph, n_clusters=3, seed=0)
+        windowed = snd.evaluate_series(series, window=window)
+        assert np.array_equal(scratch, windowed)
+
+    def test_every_shift_matches_scratch_sweep(self, graph):
+        series = distinct_series(40, 7)
+        fresh = SND(graph, n_clusters=3, seed=0)
+        snd = SND(graph, n_clusters=3, seed=0)
+        window = 4
+        cache = TransitionCache()
+        for start in range(len(series) - window + 1):
+            sub = series[start : start + window]
+            windowed = snd.evaluate_series(sub, transitions=cache)
+            scratch = fresh.evaluate_series(sub, cache=GroundCostCache())
+            assert np.array_equal(windowed, scratch), f"shift {start} diverged"
+
+    def test_one_fresh_transition_per_shift(self, graph):
+        series = distinct_series(40, 8)
+        snd = SND(graph, n_clusters=3, seed=0)
+        window = 4
+        cache = TransitionCache()
+        for start in range(len(series) - window + 1):
+            before = cache.fresh
+            snd.evaluate_series(series[start : start + window], transitions=cache)
+            fresh = cache.fresh - before
+            expected = window - 1 if start == 0 else 1
+            assert fresh == expected, f"shift {start}: {fresh} fresh != {expected}"
+
+    @pytest.mark.parametrize("executor", ["process", "thread"])
+    def test_windowed_parallel_identical(self, graph, executor):
+        series = distinct_series(40, 6)
+        scratch = SND(graph, n_clusters=3, seed=0).evaluate_series(series)
+        snd = SND(graph, n_clusters=3, seed=0)
+        windowed = snd.evaluate_series(
+            series, window=4, jobs=2, executor=executor
+        )
+        assert np.array_equal(scratch, windowed)
+        assert snd.transition_cache.fresh == len(series) - 1
+
+    @pytest.mark.parametrize("executor", ["process", "thread"])
+    def test_parallel_shifts_resolve_one_fresh(self, graph, executor):
+        series = distinct_series(40, 7)
+        snd = SND(graph, n_clusters=3, seed=0)
+        window = 5
+        cache = snd.transition_cache
+        reference = SND(graph, n_clusters=3, seed=0).evaluate_series(series)
+        for start in range(len(series) - window + 1):
+            before = cache.fresh
+            vals = snd.evaluate_series(
+                series[start : start + window],
+                jobs=2,
+                executor=executor,
+                transitions=cache,
+            )
+            assert np.array_equal(vals, reference[start : start + window - 1])
+            expected = window - 1 if start == 0 else 1
+            assert cache.fresh - before == expected
+
+    def test_ground_cache_eviction_pressure(self, graph):
+        # A one-entry ground-cost cache forces constant rebuilds; values
+        # and the one-fresh-per-shift contract must survive.
+        series = distinct_series(40, 6)
+        scratch = SND(graph, n_clusters=3, seed=0).evaluate_series(series)
+        snd = SND(graph, n_clusters=3, seed=0)
+        windowed = snd.evaluate_series(
+            series, window=3, cache=GroundCostCache(maxsize=1)
+        )
+        assert np.array_equal(scratch, windowed)
+        assert snd.transition_cache.fresh == len(series) - 1
+
+    def test_window_larger_than_series(self, graph, rng):
+        series = random_series(40, 5, rng)
+        scratch = SND(graph, n_clusters=3, seed=0).evaluate_series(series)
+        snd = SND(graph, n_clusters=3, seed=0)
+        assert np.array_equal(scratch, snd.evaluate_series(series, window=99))
+
+    def test_window_must_span_a_transition(self, snd, rng):
+        series = random_series(40, 4, rng)
+        with pytest.raises(ValidationError):
+            snd.evaluate_series(series, window=1)
+
+    def test_instance_transition_cache_reused_across_calls(self, graph):
+        series = distinct_series(40, 8)
+        snd = SND(graph, n_clusters=3, seed=0)
+        snd.evaluate_series(series[:6], window=3)
+        solved = snd.transition_cache.fresh
+        assert solved == 5
+        # The stream advances by two states: exactly two new transitions.
+        snd.evaluate_series(series[2:], window=3)
+        assert snd.transition_cache.fresh == solved + 2
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("window", [2, 3, 4, 6, 9])
+    @pytest.mark.parametrize("executor", ["process", "thread"])
+    def test_full_window_matrix(self, graph, rng, window, executor):
+        """Every window size x executor: identical to scratch under cache
+        pressure, one fresh transition per shift."""
+        series = random_series(40, 9, rng)
+        scratch = SND(graph, n_clusters=3, seed=0).evaluate_series(series)
+        snd = SND(graph, n_clusters=3, seed=0)
+        windowed = snd.evaluate_series(
+            series,
+            window=window,
+            jobs=2,
+            executor=executor,
+            cache=GroundCostCache(maxsize=2),
+        )
+        assert np.array_equal(scratch, windowed)
+
 
 class TestPairwiseMatrix:
-    def test_symmetric_zero_diagonal(self, snd):
-        series = random_series(40, 6, seed=9)
+    def test_symmetric_zero_diagonal(self, snd, rng):
+        series = random_series(40, 6, rng)
         matrix = snd.pairwise_matrix(series)
         assert matrix.shape == (6, 6)
         assert np.array_equal(matrix, matrix.T)
         assert np.all(np.diag(matrix) == 0.0)
 
-    def test_matches_per_pair_distance(self, snd):
-        states = list(random_series(40, 5, seed=10))
+    def test_matches_per_pair_distance(self, snd, rng):
+        states = list(random_series(40, 5, rng))
         matrix = snd.pairwise_matrix(states)
         for i in range(len(states)):
             for j in range(i + 1, len(states)):
@@ -148,29 +381,47 @@ class TestPairwiseMatrix:
                 )
 
     @pytest.mark.parametrize("executor", ["process", "thread"])
-    def test_parallel_matches_serial(self, snd, executor):
-        series = random_series(40, 5, seed=11)
+    def test_parallel_matches_serial(self, snd, rng, executor):
+        series = random_series(40, 5, rng)
         serial = snd.pairwise_matrix(series)
         parallel = snd.pairwise_matrix(series, jobs=3, executor=executor)
         assert np.max(np.abs(serial - parallel)) <= 1e-9
 
-    def test_build_count_linear_in_states(self, snd):
-        states = list(random_series(40, 6, seed=12))
+    def test_build_count_linear_in_states(self, snd, rng):
+        states = list(random_series(40, 6, rng))
         cache = GroundCostCache(maxsize=4 * len(states))
         snd.pairwise_matrix(states, cache=cache)
         assert cache.builds <= 2 * len(states)
 
-    def test_degenerate_sizes(self, snd):
-        assert snd.pairwise_matrix([]).shape == (0, 0)
+    def test_empty_input(self, snd):
+        out = snd.pairwise_matrix([])
+        assert out.shape == (0, 0) and out.dtype == np.float64
+
+    def test_single_state(self, snd):
         one = snd.pairwise_matrix([NetworkState.neutral(40)])
         assert one.shape == (1, 1) and one[0, 0] == 0.0
 
+    @pytest.mark.parametrize("executor", ["process", "thread"])
+    def test_degenerate_sizes_with_jobs(self, snd, executor):
+        # 0/1-state inputs return before any pool is created, jobs or not.
+        assert snd.pairwise_matrix([], jobs=2, executor=executor).shape == (0, 0)
+        one = snd.pairwise_matrix(
+            [NetworkState.neutral(40)], jobs=2, executor=executor
+        )
+        assert one.shape == (1, 1) and one[0, 0] == 0.0
+
+    def test_two_states_single_pair(self, snd, rng):
+        states = list(random_series(40, 2, rng))
+        serial = snd.pairwise_matrix(states)
+        threaded = snd.pairwise_matrix(states, jobs=4, executor="thread")
+        assert np.array_equal(serial, threaded)
+
 
 class TestRegistryBatchPath:
-    def test_snd_series_routed_through_batch(self, graph):
+    def test_snd_series_routed_through_batch(self, graph, rng):
         from repro.distances import DistanceContext, default_registry
 
-        series = random_series(40, 5, seed=13)
+        series = random_series(40, 5, rng)
         registry = default_registry()
         context = DistanceContext(graph=graph)
         context.ensure_snd(n_clusters=3, seed=0)
@@ -185,11 +436,33 @@ class TestRegistryBatchPath:
         parallel = registry.series("snd", series, context, jobs=2)
         assert np.max(np.abs(parallel - naive)) <= 1e-9
 
-    def test_generic_pairwise_fallback(self, graph):
+    def test_snd_series_window_kwarg(self, graph, rng):
+        from repro.distances import DistanceContext, default_registry
+
+        series = random_series(40, 6, rng)
+        registry = default_registry()
+        context = DistanceContext(graph=graph)
+        context.ensure_snd(n_clusters=3, seed=0)
+        full = registry.series("snd", series, context)
+        windowed = registry.series("snd", series, context, window=3)
+        assert np.array_equal(full, windowed)
+        assert context.snd.transition_cache.reused > 0
+
+    def test_window_noop_for_generic_measures(self, graph, rng):
+        from repro.distances import DistanceContext, default_registry
+
+        series = random_series(40, 4, rng)
+        registry = default_registry()
+        context = DistanceContext(graph=graph)
+        plain = registry.series("hamming", series, context)
+        windowed = registry.series("hamming", series, context, window=3)
+        assert np.array_equal(plain, windowed)
+
+    def test_generic_pairwise_fallback(self, graph, rng):
         from repro.distances import DistanceContext, default_registry
         from repro.distances.vector import hamming_distance
 
-        series = random_series(40, 4, seed=14)
+        series = random_series(40, 4, rng)
         registry = default_registry()
         context = DistanceContext(graph=graph)
         matrix = registry.pairwise("hamming", series, context)
@@ -198,19 +471,19 @@ class TestRegistryBatchPath:
             for j in range(len(states)):
                 assert matrix[i, j] == hamming_distance(states[i], states[j])
 
-    def test_unknown_measure_rejected(self, graph):
+    def test_unknown_measure_rejected(self, graph, rng):
         from repro.distances import DistanceContext, default_registry
 
-        series = random_series(40, 3, seed=15)
+        series = random_series(40, 3, rng)
         with pytest.raises(ValidationError):
             default_registry().pairwise("nope", series, DistanceContext(graph=graph))
 
 
 class TestStateDistanceMatrix:
-    def test_batched_object_used(self, snd):
+    def test_batched_object_used(self, snd, rng):
         from repro.analysis.metric_space import state_distance_matrix
 
-        states = list(random_series(40, 4, seed=16))
+        states = list(random_series(40, 4, rng))
         via_helper = state_distance_matrix(states, snd)
         direct = snd.pairwise_matrix(states)
         assert np.array_equal(via_helper, direct)
@@ -233,3 +506,27 @@ class TestChunking:
                 flat = [t for a, b in ranges for t in range(a, b)]
                 assert flat == list(range(n_items))
                 assert len(ranges) <= max(1, min(n_chunks, n_items))
+
+    def test_zero_items(self):
+        assert _chunk_ranges(0, 4) == []
+        assert _chunk_ranges(-3, 4) == []
+
+    def test_more_chunks_than_items(self):
+        ranges = _chunk_ranges(3, 100)
+        assert ranges == [(0, 1), (1, 2), (2, 3)]
+        assert all(b > a for a, b in ranges)  # never an empty range
+
+    def test_degenerate_chunk_counts(self):
+        assert _chunk_ranges(5, 0) == [(0, 5)]
+        assert _chunk_ranges(5, -2) == [(0, 5)]
+
+    def test_missing_runs_contiguity(self):
+        # Non-contiguous missing indices split into contiguous tasks.
+        tasks = _missing_runs([0, 1, 2, 5, 6, 9], jobs=2)
+        covered = sorted(t for a, b in tasks for t in range(a, b))
+        assert covered == [0, 1, 2, 5, 6, 9]
+        for a, b in tasks:
+            assert b > a
+
+    def test_missing_runs_single_gap(self):
+        assert _missing_runs([4], jobs=8) == [(4, 5)]
