@@ -1,0 +1,273 @@
+"""Persistent-engine benchmark — pool persistence + incremental extension.
+
+Measures the two levers PR 3 adds over the PR-2 batch layer, writing
+``benchmarks/BENCH_engine.json``:
+
+1. **Persistent vs per-call pool.** ``R`` repeated sweeps of the same
+   series through (a) the batch wrapper with ``jobs=J`` — the PR-2 path,
+   which launches a fresh process pool (and re-pickles the SND instance)
+   on every call — and (b) one long-lived :class:`~repro.snd.SNDEngine`
+   whose workers attach once to the shared-memory state matrix
+   (``pool_starts == 1`` is asserted). Also records ``jobs="auto"``
+   (which resolves to serial on single-CPU hosts, so the engine is never
+   slower than serial there) against the serial sweep.
+2. **Incremental vs from-scratch corpus extension.** Appending ``k``
+   states to an ``N``-state :class:`~repro.snd.Corpus` must solve exactly
+   ``k·N + k·(k-1)/2`` fresh pairs (counter-asserted through the
+   :class:`~repro.snd.TransitionCache`) and produce a matrix bit-identical
+   to the from-scratch ``(N+k)``-state sweep.
+
+The engine's unified cache-hierarchy counters
+(:meth:`~repro.snd.CacheManager.stats`) are embedded in the JSON.
+``--quick`` shrinks the workload for CI (same assertions, smaller graph).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from common import print_table, record
+from repro.graph.generators import powerlaw_configuration_graph
+from repro.opinions.dynamics import generate_series
+from repro.snd import SND, Corpus, SNDEngine
+
+JSON_PATH = Path(__file__).parent / "BENCH_engine.json"
+
+#: Full scale mirrors the CLI ``generate`` defaults (the acceptance
+#: workload of BENCH_batch_series); quick scale keeps CI under a minute.
+FULL = {"n_nodes": 2000, "n_states": 12, "n_seeds": 100, "corpus_base": 8, "k": 2, "sweeps": 3}
+QUICK = {"n_nodes": 400, "n_states": 8, "n_seeds": 30, "corpus_base": 6, "k": 2, "sweeps": 3}
+
+
+def _dataset(cfg):
+    graph = powerlaw_configuration_graph(cfg["n_nodes"], -2.3, k_min=2, seed=0)
+    series = generate_series(
+        graph,
+        cfg["n_states"],
+        n_seeds=cfg["n_seeds"],
+        p_nbr=0.10,
+        p_ext=0.01,
+        candidate_fraction=0.05,
+        seed=0,
+    )
+    return graph, series
+
+
+def _snd(graph) -> SND:
+    return SND(graph, n_clusters=24, seed=0)
+
+
+def _distinct_states(series, count):
+    """The first *count* series states, nudged until pairwise-distinct.
+
+    The transition cache is content-keyed, so duplicate states would let
+    the incremental extension answer some "new" pairs from the cache —
+    legitimate reuse, but it would blur the exact ``k·N + k·(k-1)/2``
+    counter assertion this benchmark exists to make.
+    """
+    states, seen = [], set()
+    for s in list(series)[:count]:
+        user = 0
+        while s.values.tobytes() in seen:
+            s = s.with_opinions([user], 1 if s[user] != 1 else -1)
+            user += 1
+        seen.add(s.values.tobytes())
+        states.append(s)
+    return states
+
+
+def run_experiment(verbose: bool = True, quick: bool = False) -> dict:
+    cfg = QUICK if quick else FULL
+    graph, series = _dataset(cfg)
+    jobs = max(2, min(4, os.cpu_count() or 1))
+    sweeps = cfg["sweeps"]
+
+    snd = _snd(graph)
+    snd.distance(series[0], series[1])  # warm imports / module caches
+
+    # --- serial baseline (one sweep) --------------------------------- #
+    t0 = time.perf_counter()
+    v_serial = snd.evaluate_series(series)
+    t_serial = time.perf_counter() - t0
+
+    # --- PR-2 per-call pool: R sweeps, one pool launch per sweep ----- #
+    snd_percall = _snd(graph)
+    snd_percall.distance(series[0], series[1])
+    t0 = time.perf_counter()
+    for _ in range(sweeps):
+        v_percall = snd_percall.evaluate_series(series, jobs=jobs)
+    t_percall = time.perf_counter() - t0
+
+    # --- persistent engine: R sweeps, one pool launch total ---------- #
+    with SNDEngine(_snd(graph), jobs=jobs, executor="process") as engine:
+        engine.snd.distance(series[0], series[1])
+        t0 = time.perf_counter()
+        for _ in range(sweeps):
+            v_persistent = engine.evaluate_series(series)
+        t_persistent = time.perf_counter() - t0
+        pool_starts = engine.pool_starts
+        engine_cache_stats = engine.stats()["caches"]
+    assert pool_starts == 1, f"persistent pool launched {pool_starts} times"
+
+    # --- jobs="auto": serial on 1-CPU hosts, pooled otherwise -------- #
+    with SNDEngine(_snd(graph), jobs="auto") as engine_auto:
+        engine_auto.snd.distance(series[0], series[1])
+        t0 = time.perf_counter()
+        v_auto = engine_auto.evaluate_series(series)
+        t_auto = time.perf_counter() - t0
+        auto_jobs = engine_auto.jobs
+
+    for name, v in (("percall", v_percall), ("persistent", v_persistent), ("auto", v_auto)):
+        diff = float(np.max(np.abs(v - v_serial)))
+        assert diff <= 1e-9, f"{name} sweep deviates from serial ({diff})"
+
+    # --- corpus: incremental extension vs from scratch --------------- #
+    base_n, k = cfg["corpus_base"], cfg["k"]
+    states = _distinct_states(series, base_n + k)
+    snd_scratch = _snd(graph)
+    t0 = time.perf_counter()
+    m_scratch = snd_scratch.pairwise_matrix(states)
+    t_scratch = time.perf_counter() - t0
+
+    with SNDEngine(_snd(graph), jobs=None) as corpus_engine:
+        corpus = Corpus(corpus_engine, states[:base_n])  # untimed priming
+        before = corpus_engine.caches.transitions.fresh
+        t0 = time.perf_counter()
+        m_incremental = corpus.extend(states[base_n:])
+        t_incremental = time.perf_counter() - t0
+        pairs_solved = corpus_engine.caches.transitions.fresh - before
+        corpus_cache_stats = corpus_engine.stats()["caches"]
+    pairs_expected = k * base_n + k * (k - 1) // 2
+    assert pairs_solved == pairs_expected, (
+        f"extension solved {pairs_solved} pairs, expected {pairs_expected}"
+    )
+    assert np.array_equal(m_incremental, m_scratch), (
+        "incremental corpus matrix deviates from the from-scratch sweep"
+    )
+
+    results = {
+        "quick": quick,
+        "workload": {
+            "n_nodes": graph.num_nodes,
+            "n_edges": graph.num_edges,
+            "n_states": len(series),
+            "generator": "powerlaw -2.3 configuration model",
+        },
+        "host": {"cpu_count": os.cpu_count(), "jobs": jobs, "auto_jobs": auto_jobs},
+        "series": {
+            "sweeps": sweeps,
+            "timings_ms": {
+                "serial_one_sweep": round(t_serial * 1e3, 2),
+                "percall_pool_total": round(t_percall * 1e3, 2),
+                "persistent_pool_total": round(t_persistent * 1e3, 2),
+                "engine_auto_one_sweep": round(t_auto * 1e3, 2),
+            },
+            "pool_starts": {"percall": sweeps, "persistent": 1},
+            "persistent_speedup_vs_percall": round(t_percall / t_persistent, 3),
+            "engine_auto_vs_serial": round(t_serial / t_auto, 3),
+        },
+        "corpus": {
+            "n_base": base_n,
+            "k_appended": k,
+            "from_scratch_ms": round(t_scratch * 1e3, 2),
+            "incremental_ms": round(t_incremental * 1e3, 2),
+            "incremental_speedup": round(t_scratch / t_incremental, 3),
+            "pairs_solved_incremental": int(pairs_solved),
+            "pairs_expected": int(pairs_expected),
+            "pairs_from_scratch": (base_n + k) * (base_n + k - 1) // 2,
+            "bit_identical": True,
+        },
+        # Two vantage points on the unified hierarchy: the parallel engine
+        # (parent-side caches idle — workers keep private hierarchies) and
+        # the serial corpus engine (every counter live).
+        "cache_stats": {
+            "persistent_engine": engine_cache_stats,
+            "corpus_engine": corpus_cache_stats,
+        },
+    }
+    JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+    rows = [
+        ["serial (1 sweep)", results["series"]["timings_ms"]["serial_one_sweep"], "-"],
+        [
+            f"per-call pool, jobs={jobs} ({sweeps} sweeps, {sweeps} launches)",
+            results["series"]["timings_ms"]["percall_pool_total"],
+            1.0,
+        ],
+        [
+            f"persistent engine, jobs={jobs} ({sweeps} sweeps, 1 launch)",
+            results["series"]["timings_ms"]["persistent_pool_total"],
+            results["series"]["persistent_speedup_vs_percall"],
+        ],
+        [
+            f"engine jobs=auto (-> {auto_jobs})",
+            results["series"]["timings_ms"]["engine_auto_one_sweep"],
+            "-",
+        ],
+        [
+            f"corpus from scratch (N+k = {base_n + k})",
+            results["corpus"]["from_scratch_ms"],
+            "-",
+        ],
+        [
+            f"corpus incremental extend (k = {k})",
+            results["corpus"]["incremental_ms"],
+            results["corpus"]["incremental_speedup"],
+        ],
+    ]
+    print_table(
+        f"Persistent engine on n={graph.num_nodes}, T={len(series)}"
+        + (" (quick)" if quick else ""),
+        ["path", "ms", "speedup"],
+        rows,
+        verbose=verbose,
+    )
+    if verbose and (os.cpu_count() or 1) < 2:
+        print(
+            "note: single-CPU host — pooled rows cannot beat serial here; "
+            "jobs='auto' resolves to serial by design"
+        )
+
+    record(
+        "engine",
+        "persistent_speedup_vs_percall",
+        results["series"]["persistent_speedup_vs_percall"],
+        jobs=jobs,
+    )
+    record(
+        "engine",
+        "incremental_speedup",
+        results["corpus"]["incremental_speedup"],
+        n_base=base_n,
+        k=k,
+    )
+    return results
+
+
+def test_engine_bench(benchmark):
+    results = benchmark.pedantic(
+        run_experiment, kwargs={"verbose": False, "quick": True}, rounds=1
+    )
+    corpus = results["corpus"]
+    assert corpus["pairs_solved_incremental"] == corpus["pairs_expected"]
+    assert corpus["bit_identical"]
+    # Solving only the new pairs must beat re-solving all of them.
+    assert corpus["incremental_speedup"] > 1.0
+    # The persistent pool skips R-1 pool launches; allow generous noise
+    # margin but it must not be meaningfully slower than per-call pools.
+    assert results["series"]["persistent_speedup_vs_percall"] >= 0.8
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="CI-scale workload (same assertions)"
+    )
+    args = parser.parse_args()
+    run_experiment(verbose=True, quick=args.quick)

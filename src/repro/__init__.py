@@ -28,7 +28,7 @@ from repro.opinions import (
     NetworkState,
     StateSeries,
 )
-from repro.snd import SND, snd_direct
+from repro.snd import SND, Corpus, SNDEngine, snd_direct
 
 __version__ = "1.0.0"
 
@@ -41,6 +41,8 @@ __all__ = [
     "IndependentCascadeModel",
     "LinearThresholdModel",
     "SND",
+    "SNDEngine",
+    "Corpus",
     "snd_direct",
     "emd",
     "emd_hat",

@@ -26,6 +26,8 @@ __all__ = [
     "anomaly_scores",
     "detect_anomalies",
     "AnomalyDetectionResult",
+    "ScoredTransition",
+    "StreamingAnomalyDetector",
 ]
 
 
@@ -130,3 +132,130 @@ def detect_anomalies(
         flagged=flagged,
         threshold=used_threshold,
     )
+
+
+# --------------------------------------------------------------------- #
+# Streaming detection
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class ScoredTransition:
+    """One finalised transition score from the streaming detector."""
+
+    index: int
+    distance: float
+    normalized: float
+    score: float
+    threshold: float
+    flagged: bool
+
+
+class StreamingAnomalyDetector:
+    """Online §6.2 detection: push distances one at a time.
+
+    The offline pipeline (:func:`detect_anomalies`) is non-causal in two
+    places — it scales by the *global* series maximum and thresholds at
+    the *global* ``mean + 2·std`` of the scores. The streaming detector
+    replaces both with causal equivalents: the running maximum and the
+    running (Welford) mean/std of the scores emitted so far. The spike
+    score itself needs the right neighbour ``d_{t+1}``, so :meth:`push`
+    finalises the *previous* transition and :meth:`finalize` flushes the
+    last one (with its missing term taken as 0, exactly like the offline
+    boundary rule).
+
+    With ``scale=False`` and a fixed *threshold*, the emitted scores are
+    **identical** to :func:`anomaly_scores` over the full series — that
+    exactness is what ``tests/analysis/test_anomaly_roc.py`` locks down;
+    with the causal defaults they agree whenever the running max/stats
+    have converged to the global ones.
+    """
+
+    def __init__(self, *, threshold: float | None = None, scale: bool = True) -> None:
+        self.fixed_threshold = threshold
+        self.scale = scale
+        self.results: list[ScoredTransition] = []
+        self._normalized: list[float] = []  # per-active-count, unscaled
+        self._raw: list[float] = []
+        self._running_max = 0.0
+        # Welford accumulators over emitted scores (adaptive threshold).
+        self._score_count = 0
+        self._score_mean = 0.0
+        self._score_m2 = 0.0
+
+    def __len__(self) -> int:
+        """Number of distances pushed so far."""
+        return len(self._normalized)
+
+    def push(self, distance: float, *, active_count: int | None = None) -> ScoredTransition | None:
+        """Consume the next adjacent-state distance ``d_t``.
+
+        *active_count* (the number of users active in the later state of
+        the transition) applies the paper's per-state normalisation.
+        Returns the newly finalised score for transition ``t-1`` — whose
+        right neighbour just arrived — or ``None`` for the very first
+        distance.
+        """
+        distance = float(distance)
+        if distance < 0:
+            raise ValidationError(f"distances must be >= 0, got {distance}")
+        normalized = distance
+        if active_count is not None:
+            normalized = distance / max(float(active_count), 1.0)
+        self._raw.append(distance)
+        self._normalized.append(normalized)
+        self._running_max = max(self._running_max, normalized)
+        if len(self._normalized) < 2:
+            return None
+        return self._score(len(self._normalized) - 2, last=False)
+
+    def finalize(self) -> ScoredTransition | None:
+        """Flush the final transition (missing right neighbour taken as 0,
+        the offline boundary rule). Returns ``None`` on an empty stream or
+        when nothing is pending."""
+        if not self._normalized:
+            return None
+        index = len(self._normalized) - 1
+        if self.results and self.results[-1].index == index:
+            return None  # already flushed
+        return self._score(index, last=True)
+
+    def _score(self, index: int, *, last: bool) -> ScoredTransition:
+        d = self._normalized
+        here = d[index]
+        prev = d[index - 1] if index > 0 else here
+        nxt = here if last else d[index + 1]
+        raw_score = (here - prev) + (here - nxt)
+        scaled = 1.0
+        if self.scale and self._running_max > 0:
+            scaled = self._running_max
+        score = raw_score / scaled
+        # Welford update, then threshold over everything seen so far —
+        # the causal analogue of the offline global mean + 2·std.
+        self._score_count += 1
+        delta = score - self._score_mean
+        self._score_mean += delta / self._score_count
+        self._score_m2 += delta * (score - self._score_mean)
+        if self.fixed_threshold is not None:
+            threshold = float(self.fixed_threshold)
+        else:
+            std = (self._score_m2 / self._score_count) ** 0.5
+            threshold = self._score_mean + 2.0 * std
+        scored = ScoredTransition(
+            index=index,
+            distance=self._raw[index],
+            normalized=here / scaled if self.scale else here,
+            score=score,
+            threshold=threshold,
+            flagged=bool(score > threshold),
+        )
+        self.results.append(scored)
+        return scored
+
+    def flagged(self) -> np.ndarray:
+        """Indices of transitions flagged so far (sorted)."""
+        return np.array(sorted(s.index for s in self.results if s.flagged), dtype=np.int64)
+
+    def scores(self) -> np.ndarray:
+        """All finalised scores in transition order."""
+        return np.array([s.score for s in self.results], dtype=np.float64)

@@ -42,11 +42,25 @@ def state_distance_matrix(
     """The symmetric ``(N, N)`` matrix :func:`k_medoids` (and any other
     matrix consumer here) expects.
 
-    *distance* may be an object exposing a batched ``pairwise_matrix``
-    (e.g. :class:`repro.snd.SND`, which caches ground costs and honours
-    *jobs*) or a plain callable ``f(a, b) -> float``, in which case the
+    *distance* may be a :class:`repro.snd.Corpus` (whose incrementally
+    maintained matrix is returned directly when *items* are exactly the
+    corpus members, and whose engine is used otherwise), an object
+    exposing a batched ``pairwise_matrix`` (:class:`repro.snd.SND` or
+    :class:`repro.snd.SNDEngine`, which cache ground costs and honour
+    *jobs*), or a plain callable ``f(a, b) -> float``, in which case the
     upper triangle is evaluated once and mirrored.
     """
+    # Class-level probes: ``matrix`` is a copying property on Corpus, so
+    # it must not be touched until the membership check says it applies.
+    cls = type(distance)
+    if getattr(cls, "states", None) is not None and getattr(cls, "matrix", None) is not None:
+        items = list(items)
+        members = list(distance.states)
+        if len(items) == len(members) and all(
+            a == b for a, b in zip(items, members)
+        ):
+            return np.asarray(distance.matrix, dtype=np.float64)
+        distance = getattr(distance, "engine", distance)
     batched = getattr(distance, "pairwise_matrix", None)
     if callable(batched):
         return np.asarray(batched(items, jobs=jobs), dtype=np.float64)

@@ -10,8 +10,21 @@ Subcommands
 ``distance-matrix``
     Compute the symmetric all-pairs distance matrix over a saved series
     (upper triangle evaluated once; ``--jobs`` fans out across workers).
+``watch``
+    Stream a saved series state-by-state through the persistent
+    :class:`~repro.snd.engine.SNDEngine`, scoring each transition with the
+    online anomaly detector as it arrives (§6.2 as an online workload).
+``corpus``
+    Build, incrementally extend, and query a persisted state corpus with
+    its pairwise SND matrix (§9 metric-space workloads): ``corpus build``,
+    ``corpus extend`` (solves only the new pairs), ``corpus query``.
 ``experiment``
     Run one of the paper's experiments end-to-end and print its table.
+
+``distance`` / ``distance-matrix`` accept ``--save`` to persist results
+into the experiment store instead of stdout-only output, and every SND
+command accepts ``--cache-stats`` to print the unified cache hierarchy's
+counters (:meth:`repro.snd.cache.CacheManager.stats`).
 
 ``--measure`` choices are derived from the live distance registry
 (:func:`repro.distances.default_registry`), so newly registered measures
@@ -79,6 +92,18 @@ def build_parser() -> argparse.ArgumentParser:
         "overlapping windows of this many states, reusing previously "
         "solved transitions (identical values; SND only)",
     )
+    dist.add_argument(
+        "--save",
+        action="store_true",
+        help="persist the computed distance series into the store's "
+        "distance_runs table (keyed to the saved series) instead of "
+        "stdout-only output",
+    )
+    dist.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print the SND cache hierarchy's hit/miss/eviction counters",
+    )
 
     dmat = sub.add_parser(
         "distance-matrix",
@@ -105,6 +130,95 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="save the matrix to this .npy file instead of printing it",
     )
+    dmat.add_argument(
+        "--save",
+        default=None,
+        metavar="CORPUS",
+        help="persist the states + matrix into the store as a named corpus "
+        "(extendable later with 'corpus extend')",
+    )
+    dmat.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print the SND cache hierarchy's hit/miss/eviction counters",
+    )
+
+    watch = sub.add_parser(
+        "watch",
+        help="stream a saved series through the persistent engine with "
+        "online anomaly detection",
+    )
+    watch.add_argument("--store", default="experiments.sqlite")
+    watch.add_argument("--name", default="synthetic")
+    watch.add_argument("--clusters", type=int, default=None)
+    watch.add_argument("--solver", default="auto", choices=SOLVER_CHOICES)
+    watch.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="engine worker count (default: auto — serial on 1-CPU hosts)",
+    )
+    watch.add_argument(
+        "--window",
+        type=int,
+        default=10,
+        help="sliding window of recent distances maintained by the stream",
+    )
+    watch.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="fixed anomaly threshold (default: causal mean + 2*std)",
+    )
+    watch.add_argument("--cache-stats", action="store_true")
+
+    corpus = sub.add_parser(
+        "corpus",
+        help="build / extend / query a persisted state corpus (pairwise "
+        "SND matrix maintained incrementally)",
+    )
+    csub = corpus.add_subparsers(dest="corpus_command", required=True)
+
+    def _corpus_common(p):
+        p.add_argument("--store", default="experiments.sqlite")
+        p.add_argument("--name", default="synthetic")
+        p.add_argument("--corpus", default="corpus", help="corpus name in the store")
+        p.add_argument("--clusters", type=int, default=None)
+        p.add_argument("--solver", default="auto", choices=SOLVER_CHOICES)
+        p.add_argument("--jobs", type=int, default=None)
+        p.add_argument("--cache-stats", action="store_true")
+
+    cbuild = csub.add_parser(
+        "build", help="build a corpus from the saved series' states"
+    )
+    _corpus_common(cbuild)
+    cbuild.add_argument(
+        "--first",
+        type=int,
+        default=None,
+        help="use only the first K series states (default: all)",
+    )
+
+    cextend = csub.add_parser(
+        "extend",
+        help="append further series states, solving only the new pairs",
+    )
+    _corpus_common(cextend)
+    cextend.add_argument(
+        "--take",
+        type=int,
+        default=1,
+        help="number of next series states to append (default: 1)",
+    )
+
+    cquery = csub.add_parser(
+        "query", help="nearest corpus members to one series state"
+    )
+    _corpus_common(cquery)
+    cquery.add_argument(
+        "--state", type=int, required=True, help="series state index to query"
+    )
+    cquery.add_argument("-k", type=int, default=3, help="neighbours to report")
 
     exp = sub.add_parser("experiment", help="run a paper experiment")
     exp.add_argument(
@@ -158,6 +272,24 @@ def _load_context(args: argparse.Namespace):
     return series, context
 
 
+def _print_cache_stats(stats: dict | None) -> None:
+    if stats is None:
+        print("# cache stats: no SND instance was used")
+        return
+    print("# cache stats (unified hierarchy)")
+    for layer in ("ground", "rows", "transitions"):
+        s = stats[layer]
+        print(
+            f"#   {layer:11s} hits={s['hits']} misses={s['misses']} "
+            f"builds={s['builds']} evictions={s['evictions']} "
+            f"size={s['size']}/{s['maxsize']} bytes={s['nbytes']}"
+        )
+    print(
+        f"#   total bytes={stats['total_nbytes']} "
+        f"budget={stats['memory_budget']}"
+    )
+
+
 def _cmd_distance(args: argparse.Namespace) -> int:
     from repro.distances import default_registry
 
@@ -174,6 +306,19 @@ def _cmd_distance(args: argparse.Namespace) -> int:
             f"# sliding window of {args.window} states: "
             f"{tc.fresh} transitions solved, {tc.reused} reused from cache"
         )
+    if args.save:
+        from repro.store import ExperimentStore
+
+        with ExperimentStore(args.store) as store:
+            sid = store.series_id(args.name, "series")
+            for t, v in enumerate(values):
+                store.record_distance(sid, args.measure, t, t + 1, float(v))
+        print(
+            f"# saved {len(values)} {args.measure} rows to distance_runs "
+            f"(series_id={sid}) in {args.store}"
+        )
+    if args.cache_stats:
+        _print_cache_stats(context.cache_stats())
     return 0
 
 
@@ -192,6 +337,122 @@ def _cmd_distance_matrix(args: argparse.Namespace) -> int:
         print(f"# {args.measure} all-pairs distance matrix")
         for row in matrix:
             print("  ".join(f"{v:10.6g}" for v in row))
+    if args.save:
+        from repro.store import ExperimentStore
+
+        with ExperimentStore(args.store) as store:
+            store.save_corpus(args.name, args.save, series, matrix)
+        print(
+            f"# saved {matrix.shape[0]}-state corpus {args.save!r} "
+            f"({args.measure} matrix) to {args.store}"
+        )
+    if args.cache_stats:
+        _print_cache_stats(context.cache_stats())
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.analysis.anomaly import StreamingAnomalyDetector
+    from repro.distances import DistanceContext
+    from repro.store import ExperimentStore
+
+    with ExperimentStore(args.store) as store:
+        graph = store.load_graph(args.name)
+        series = store.load_series(args.name, "series")
+    context = DistanceContext(graph=graph)
+    context.ensure_snd(n_clusters=args.clusters, seed=0, solver=args.solver)
+    detector = StreamingAnomalyDetector(threshold=args.threshold)
+    flagged: list[int] = []
+    print(
+        f"# watching {len(series)} states (window={args.window}); "
+        "scores lag one state (the spike score needs the right neighbour)"
+    )
+    with context.snd.create_engine(jobs="auto" if args.jobs is None else args.jobs) as engine:
+        for update in engine.stream(series, window=args.window, detector=detector):
+            parts = [f"t={update.index:4d}"]
+            if update.distance is not None:
+                parts.append(f"d={update.distance:.6g}")
+            if update.scored is not None:
+                s = update.scored
+                parts.append(
+                    f"| transition {s.index}: score={s.score:+.4f} "
+                    f"thr={s.threshold:.4f}"
+                )
+                if s.flagged:
+                    flagged.append(s.index)
+                    parts.append("*** ANOMALY")
+            print("  ".join(parts))
+        transitions = engine.caches.transitions
+        print(
+            f"# {transitions.fresh} transitions solved, "
+            f"{transitions.reused} reused from cache; "
+            f"flagged: {flagged if flagged else 'none'}"
+        )
+        if args.cache_stats:
+            _print_cache_stats(engine.caches.stats())
+    return 0
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from repro.distances import DistanceContext
+    from repro.snd.engine import Corpus
+    from repro.store import ExperimentStore
+
+    with ExperimentStore(args.store) as store:
+        graph = store.load_graph(args.name)
+        series = store.load_series(args.name, "series")
+        context = DistanceContext(graph=graph)
+        context.ensure_snd(n_clusters=args.clusters, seed=0, solver=args.solver)
+        with context.snd.create_engine(jobs="auto" if args.jobs is None else args.jobs) as engine:
+            if args.corpus_command == "build":
+                states = list(series)
+                if args.first is not None:
+                    states = states[: args.first]
+                corpus = Corpus(engine, states)
+                corpus.save(store, args.name, args.corpus)
+                print(
+                    f"built corpus {args.corpus!r}: {len(corpus)} states, "
+                    f"{len(corpus) * (len(corpus) - 1) // 2} pairs solved, "
+                    f"saved to {args.store}"
+                )
+            elif args.corpus_command == "extend":
+                corpus = Corpus.load(store, engine, args.name, args.corpus)
+                old_n = len(corpus)
+                new_states = list(series)[old_n : old_n + args.take]
+                if not new_states:
+                    print(
+                        f"corpus {args.corpus!r} already covers all "
+                        f"{len(series)} series states; nothing to extend"
+                    )
+                    return 0
+                before = engine.caches.transitions.fresh
+                corpus.extend(new_states)
+                solved = engine.caches.transitions.fresh - before
+                corpus.save(store, args.name, args.corpus)
+                k = len(new_states)
+                print(
+                    f"extended corpus {args.corpus!r} by {k} states "
+                    f"({old_n} -> {len(corpus)}): solved {solved} new pairs "
+                    f"(k*N + k*(k-1)/2 = {k * old_n + k * (k - 1) // 2}), "
+                    f"reused {old_n * (old_n - 1) // 2} existing"
+                )
+            else:  # query
+                corpus = Corpus.load(store, engine, args.name, args.corpus)
+                if not 0 <= args.state < len(series):
+                    print(
+                        f"error: --state must be in [0, {len(series) - 1}]",
+                        file=sys.stderr,
+                    )
+                    return 1
+                neighbours = corpus.query(series[args.state], k=args.k)
+                print(
+                    f"# {len(neighbours)} nearest corpus members to series "
+                    f"state {args.state}"
+                )
+                for rank, (idx, dist) in enumerate(neighbours):
+                    print(f"{rank + 1:3d}. corpus[{idx}]  d={dist:.6g}")
+            if args.cache_stats:
+                _print_cache_stats(engine.caches.stats())
     return 0
 
 
@@ -246,6 +507,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_distance(args)
     if args.command == "distance-matrix":
         return _cmd_distance_matrix(args)
+    if args.command == "watch":
+        return _cmd_watch(args)
+    if args.command == "corpus":
+        return _cmd_corpus(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -46,6 +46,14 @@ class DistanceContext:
             self.snd = SND(self.graph, **kwargs)
         return self.snd
 
+    def cache_stats(self) -> dict | None:
+        """Counters of the SND cache hierarchy (``None`` before any SND
+        use) — the ``--cache-stats`` CLI surface; see
+        :meth:`repro.snd.cache.CacheManager.stats`."""
+        if self.snd is None:
+            return None
+        return self.snd.caches.stats()
+
 
 MeasureFn = Callable[[NetworkState, NetworkState, DistanceContext], float]
 

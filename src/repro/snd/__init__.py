@@ -18,33 +18,48 @@ Batch workloads — whole-series sweeps and all-pairs matrices — run through
     distances = snd.evaluate_series(series, jobs=4)   # d_t = SND(G_t, G_{t+1})
     matrix = snd.pairwise_matrix(series)              # symmetric, zero diagonal
 
-Both share a bounded :class:`~repro.snd.batch.GroundCostCache` (Eq. 2 cost
-arrays built once per sweep) and a
-:class:`~repro.snd.batch.DijkstraRowCache` (per-source shortest-path rows
-reused across terms), and both return values bit-identical to the per-pair
-loop. ``evaluate_series(window=W)`` additionally runs the incremental
-sliding-window mode: finished transitions are memoised in a
-:class:`~repro.snd.batch.TransitionCache`, so each one-state window shift
-re-solves exactly one fresh transition.
+Every entry point shares the instance's unified cache hierarchy
+(:class:`~repro.snd.cache.CacheManager`: Eq. 2 cost arrays, per-source
+shortest-path rows, finished transition values — one optional memory
+budget, one stats surface), and all return values bit-identical to the
+per-pair loop. ``evaluate_series(window=W)`` additionally runs the
+incremental sliding-window mode: each one-state window shift re-solves
+exactly one fresh transition.
+
+Online workloads — repeated sweeps, growing corpora, state streams — hold
+a persistent engine (:mod:`repro.snd.engine`) whose workers attach once
+to a shared-memory state matrix::
+
+    with snd.create_engine(jobs=4) as engine:
+        engine.evaluate_series(series)            # pool launched once
+        corpus = Corpus(engine, list(series))
+        corpus.extend(new_states)                 # solves only the new pairs
+        for update in engine.stream(arriving):    # online anomaly detection
+            ...
 """
 
 from repro.snd.banks import BankAllocation, allocate_banks
-from repro.snd.batch import (
+from repro.snd.batch import evaluate_series, pairwise_matrix
+from repro.snd.cache import (
+    CacheManager,
     DijkstraRowCache,
     GroundCostCache,
     TransitionCache,
-    evaluate_series,
-    pairwise_matrix,
 )
 from repro.snd.direct import snd_direct
+from repro.snd.engine import Corpus, SNDEngine, StreamUpdate
 from repro.snd.ground import GroundDistanceConfig, build_edge_costs, quantize_costs
 from repro.snd.snd import SND
 
 __all__ = [
     "SND",
+    "SNDEngine",
+    "Corpus",
+    "StreamUpdate",
     "snd_direct",
     "BankAllocation",
     "allocate_banks",
+    "CacheManager",
     "DijkstraRowCache",
     "GroundCostCache",
     "TransitionCache",

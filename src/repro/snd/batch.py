@@ -1,37 +1,25 @@
-"""Batch SND evaluation: series sweeps, sliding windows, pairwise matrices.
+"""Batch SND evaluation: thin wrappers over a transient engine.
 
 Every experiment in the paper (Figs. 5-12, Table 1) sweeps a
 :class:`~repro.opinions.state.StateSeries` through SND, and the §9
-metric-space applications need all-pairs distance matrices. Evaluating each
-pair from scratch wastes work three times over:
+metric-space applications need all-pairs distance matrices. Since PR 3 the
+actual machinery lives in two sibling modules:
 
-1. **Ground-cost rebuilds.** Eq. 3 needs the Eq. 2 edge costs of *both*
-   states (one per polarity), and adjacent transitions share a state — the
-   supplier-side costs of ``(G_t, G_{t+1})`` are rebuilt verbatim for
-   ``(G_{t+1}, G_{t+2})``. :class:`GroundCostCache` memoises cost arrays
-   under a ``(state fingerprint, opinion)`` key, cutting a series sweep
-   from ``4·(T-1)`` builds to at most ``2·(T-1) + 2`` and a pairwise
-   matrix over ``N`` states to ``2·N``.
-2. **Shortest-path rebuilds.** The fast pipeline runs one Dijkstra per
-   changed user, and rows depend only on ``(supplier state, opinion,
-   direction, source)`` — terms of different transitions that share a
-   supplier state re-run identical Dijkstras for every source that changed
-   in both. :class:`DijkstraRowCache` memoises per-source rows under that
-   key (rows are independent per source, so stitching cached and fresh
-   rows is bit-identical to one batched run).
-3. **Whole-transition rebuilds.** A sliding window shifted by one state
-   shares all but one transition with the previous sweep.
-   :class:`TransitionCache` memoises finished SND values under the ordered
-   state-fingerprint pair, so windowed sweeps (``window=``) re-solve
-   exactly one fresh transition per shift; its ``misses`` counter makes
-   that testable.
+* :mod:`repro.snd.cache` — the unified cache hierarchy
+  (:class:`GroundCostCache` for Eq. 2 cost arrays,
+  :class:`DijkstraRowCache` for per-source shortest-path rows,
+  :class:`TransitionCache` for finished SND values, bundled by
+  :class:`~repro.snd.cache.CacheManager` under one memory budget);
+* :mod:`repro.snd.engine` — the persistent :class:`~repro.snd.engine.SNDEngine`
+  (long-lived worker pool attached once to a shared-memory state matrix,
+  incremental :class:`~repro.snd.engine.Corpus` extension, streaming).
 
-Transitions (and pairs) are independent, so a ``jobs=`` fan-out distributes
-contiguous chunks over a :mod:`concurrent.futures` pool. Process workers
-receive the SND instance and the stacked state matrix **once** through the
-pool initializer and keep private caches, so per-task payloads are just
-index ranges; cached transitions are filtered out *before* dispatch, so
-reuse works in every execution mode.
+:func:`evaluate_series` and :func:`pairwise_matrix` keep the historical
+one-shot calling convention by wrapping a **transient** engine: one call,
+one (optional) pool, same results. Long-lived workloads — repeated sweeps,
+growing corpora, state streams — should hold an
+:class:`~repro.snd.engine.SNDEngine` instead and amortise the pool startup
+across calls.
 
 The batched paths run the exact same per-term pipeline as
 :meth:`repro.snd.snd.SND.evaluate` (same cost arrays, same solver, same
@@ -43,14 +31,24 @@ the upper triangle only and mirrors it.
 
 from __future__ import annotations
 
-import threading
-from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-
 import numpy as np
 
-from repro.exceptions import ValidationError
-from repro.opinions.state import NEGATIVE, POSITIVE, NetworkState, StateSeries
+from repro.opinions.state import StateSeries
+from repro.snd.cache import (
+    DEFAULT_CACHE_SIZE,
+    DEFAULT_ROW_CACHE_SIZE,
+    DEFAULT_TRANSITION_CACHE_SIZE,
+    CacheManager,
+    DijkstraRowCache,
+    GroundCostCache,
+    TransitionCache,
+)
+from repro.snd.engine import (
+    SNDEngine,
+    _chunk_ranges,  # noqa: F401  (re-exported for tests / legacy imports)
+    _missing_runs,  # noqa: F401
+    _pair_distance,  # noqa: F401
+)
 
 __all__ = [
     "DEFAULT_CACHE_SIZE",
@@ -59,349 +57,40 @@ __all__ = [
     "GroundCostCache",
     "DijkstraRowCache",
     "TransitionCache",
+    "CacheManager",
     "evaluate_series",
     "pairwise_matrix",
 ]
 
-#: Default bound on cached cost arrays. A series sweep only ever has 4
-#: entries live (two states x two polarities); pairwise callers size their
-#: cache to ``2·N`` explicitly. 64 leaves room for sliding-window reuse
-#: while bounding retained memory at ``64 · m`` floats.
-DEFAULT_CACHE_SIZE = 64
 
-#: Default bound on cached Dijkstra rows (one row = ``n`` floats; 256 rows
-#: of a 2000-node graph retain ~4 MB).
-DEFAULT_ROW_CACHE_SIZE = 256
-
-#: Default bound on cached transition values. Entries are single floats
-#: keyed by two fingerprints, so a large default is cheap and lets long
-#: sliding-window sweeps reuse every previously solved transition.
-DEFAULT_TRANSITION_CACHE_SIZE = 65536
-
-
-class _LruCache:
-    """Bounded thread-safe LRU shared by the three batch caches.
-
-    ``hits`` / ``misses`` counters make reuse testable: ``misses`` equals
-    the number of fresh computations performed through the cache. Pickling
-    drops the entries and the lock (process-pool workers rebuild their own
-    caches; shipping entries across the boundary defeats the point).
-    """
-
-    def __init__(self, maxsize: int) -> None:
-        if maxsize < 1:
-            raise ValidationError(f"cache maxsize must be >= 1, got {maxsize}")
-        self.maxsize = int(maxsize)
-        self._entries: OrderedDict = OrderedDict()
-        self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-
-    def _get(self, key):
-        """Entry for *key* (counting a hit) or ``None`` (counting a miss)."""
-        with self._lock:
-            entry = self._entries.get(key)
-            if entry is not None:
-                self._entries.move_to_end(key)
-                self.hits += 1
-            else:
-                self.misses += 1
-            return entry
-
-    def _put(self, key, value) -> None:
-        with self._lock:
-            self._entries[key] = value
-            while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def clear(self) -> None:
-        with self._lock:
-            self._entries.clear()
-
-    def __getstate__(self):
-        state = self.__dict__.copy()
-        del state["_lock"]  # locks cannot cross pickle; workers re-create
-        state["_entries"] = OrderedDict()  # entries don't travel: workers
-        return state  # rebuild their own, and shipping arrays defeats the point
-
-    def __setstate__(self, state):
-        self.__dict__.update(state)
-        self._lock = threading.Lock()
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (
-            f"{type(self).__name__}(size={len(self._entries)}/{self.maxsize}, "
-            f"hits={self.hits}, misses={self.misses})"
-        )
-
-
-class GroundCostCache(_LruCache):
-    """Bounded LRU cache of Eq. 2 edge-cost arrays.
-
-    Keys are ``(state fingerprint, opinion)`` where the fingerprint is the
-    raw opinion-vector bytes — two states with equal opinions share an
-    entry regardless of object identity. Values are the CSR-aligned cost
-    arrays of :meth:`repro.snd.ground.GroundDistanceConfig.edge_costs`;
-    they are treated as immutable once cached.
-
-    The cache is thread-safe (one lock around lookups/inserts) so a thread
-    fan-out can share a single instance; process workers each hold their
-    own. ``misses`` equals the number of ground-cost builds performed.
-    """
-
-    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE) -> None:
-        super().__init__(maxsize)
-
-    @staticmethod
-    def fingerprint(state: NetworkState) -> bytes:
-        """Content key for *state* (equal opinions => equal fingerprint)."""
-        return state.values.tobytes()
-
-    def edge_costs(self, ground, graph, state: NetworkState, opinion: int) -> np.ndarray:
-        """Cached ``ground.edge_costs(graph, state, opinion)``."""
-        key = (self.fingerprint(state), int(opinion))
-        cached = self._get(key)
-        if cached is not None:
-            return cached
-        costs = ground.edge_costs(graph, state, opinion)
-        self._put(key, costs)
-        return costs
-
-    @property
-    def builds(self) -> int:
-        """Number of ground-cost arrays actually built (== misses)."""
-        return self.misses
-
-
-class DijkstraRowCache(_LruCache):
-    """Bounded LRU cache of per-source shortest-path rows.
-
-    A row is ``dist(source -> ·)`` (or ``dist(· -> source)`` when
-    *reverse*) under one supplier-side cost array; the key is
-    ``(cost_key, reverse, source)`` where ``cost_key`` is the ground-cost
-    cache key ``(state fingerprint, opinion)``. Rows are independent per
-    source, so a matrix stitched from cached and freshly computed rows is
-    bit-identical to one batched :func:`multi_source_distances` call —
-    which is what makes the cache safe for the exactness contract of the
-    batch engine.
-    """
-
-    def __init__(self, maxsize: int = DEFAULT_ROW_CACHE_SIZE) -> None:
-        super().__init__(maxsize)
-
-    def distance_rows(
-        self,
-        graph,
-        sources,
-        edge_costs: np.ndarray,
-        *,
-        reverse: bool,
-        engine: str,
-        heap: str,
-        cost_key,
-    ) -> np.ndarray:
-        """``multi_source_distances`` with per-source row memoisation."""
-        from repro.shortestpath.dijkstra import multi_source_distances
-
-        sources = np.atleast_1d(np.asarray(sources, dtype=np.int64))
-        n = graph.num_nodes
-        out = np.empty((sources.size, n), dtype=np.float64)
-        missing: list[int] = []
-        for i, s in enumerate(sources):
-            row = self._get((cost_key, bool(reverse), int(s)))
-            if row is None:
-                missing.append(i)
-            else:
-                out[i] = row
-        if missing:
-            fresh = multi_source_distances(
-                graph,
-                sources[missing],
-                weights=edge_costs,
-                engine=engine,
-                heap=heap,
-                reverse=reverse,
-            )
-            for k, i in enumerate(missing):
-                out[i] = fresh[k]
-                row = fresh[k].copy()
-                row.setflags(write=False)
-                self._put((cost_key, bool(reverse), int(sources[i])), row)
-        return out
-
-
-class TransitionCache(_LruCache):
-    """Bounded LRU cache of finished SND transition values.
-
-    Keys are the *ordered* fingerprint pair of the two states (Eq. 3 is
-    symmetric, but term summation order differs under a swap, so the
-    ordered key preserves the bit-identical contract); values are floats.
-    ``misses`` counts fresh transitions actually solved — a sliding window
-    shifted by one state shows exactly one miss per shift.
-    """
-
-    def __init__(self, maxsize: int = DEFAULT_TRANSITION_CACHE_SIZE) -> None:
-        super().__init__(maxsize)
-
-    @staticmethod
-    def key(a: NetworkState, b: NetworkState) -> tuple[bytes, bytes]:
-        return (GroundCostCache.fingerprint(a), GroundCostCache.fingerprint(b))
-
-    def get(self, a: NetworkState, b: NetworkState) -> float | None:
-        """Cached distance for the ordered pair, or ``None`` (counts the
-        miss — the caller is expected to solve and :meth:`put` it)."""
-        return self._get(self.key(a, b))
-
-    def put(self, a: NetworkState, b: NetworkState, value: float) -> None:
-        self._put(self.key(a, b), float(value))
-
-    @property
-    def fresh(self) -> int:
-        """Number of transitions actually solved (== misses)."""
-        return self.misses
-
-    @property
-    def reused(self) -> int:
-        """Number of transitions answered from the cache (== hits)."""
-        return self.hits
-
-
-# --------------------------------------------------------------------- #
-# Single-pair evaluation through the caches
-# --------------------------------------------------------------------- #
-
-
-def _pair_distance(
+def _transient_engine(
     snd,
-    a: NetworkState,
-    b: NetworkState,
-    cache: GroundCostCache,
-    row_cache: DijkstraRowCache | None = None,
-) -> float:
-    """One Eq. 3 evaluation with ground costs drawn from *cache*.
+    *,
+    jobs,
+    executor: str,
+    cache: GroundCostCache | None,
+    row_cache: DijkstraRowCache | None,
+    transitions: TransitionCache | None,
+) -> SNDEngine:
+    """One-call engine honouring the historical per-cache arguments.
 
-    Term order and summation match :meth:`SND.evaluate` exactly so the
-    result is bit-identical to the unbatched path; *row_cache* (optional)
-    additionally reuses per-source Dijkstra rows across terms, which is
-    value-preserving (rows are per-source deterministic).
+    Caller-supplied caches are adopted into a fresh
+    :class:`~repro.snd.cache.CacheManager` so their counters stay visible;
+    a ``row_cache=None`` keeps the historical meaning "no row reuse for
+    this call".
     """
-    ground, graph = snd.ground, snd.graph
-    key_a, key_b = GroundCostCache.fingerprint(a), GroundCostCache.fingerprint(b)
-    terms = (
-        snd.term(
-            a, b, POSITIVE,
-            edge_costs=cache.edge_costs(ground, graph, a, POSITIVE),
-            row_cache=row_cache, cost_key=(key_a, POSITIVE),
-        ),
-        snd.term(
-            a, b, NEGATIVE,
-            edge_costs=cache.edge_costs(ground, graph, a, NEGATIVE),
-            row_cache=row_cache, cost_key=(key_a, NEGATIVE),
-        ),
-        snd.term(
-            b, a, POSITIVE,
-            edge_costs=cache.edge_costs(ground, graph, b, POSITIVE),
-            row_cache=row_cache, cost_key=(key_b, POSITIVE),
-        ),
-        snd.term(
-            b, a, NEGATIVE,
-            edge_costs=cache.edge_costs(ground, graph, b, NEGATIVE),
-            row_cache=row_cache, cost_key=(key_b, NEGATIVE),
-        ),
+    caches = CacheManager(
+        ground=cache if cache is not None else GroundCostCache(DEFAULT_CACHE_SIZE),
+        rows=row_cache if row_cache is not None else DijkstraRowCache(),
+        transitions=transitions if transitions is not None else TransitionCache(),
     )
-    return 0.5 * sum(terms)
-
-
-# --------------------------------------------------------------------- #
-# Process-pool plumbing
-# --------------------------------------------------------------------- #
-
-# Worker-global context, set once per process by the pool initializer so
-# per-task payloads are bare index ranges (the SND instance and the state
-# matrix cross the process boundary exactly once).
-_WORKER: dict = {}
-
-
-def _init_worker(snd, matrix: np.ndarray, cache_size: int, row_cache_size: int = 0) -> None:
-    _WORKER["snd"] = snd
-    _WORKER["states"] = [NetworkState(row) for row in matrix]
-    _WORKER["cache"] = GroundCostCache(cache_size)
-    _WORKER["row_cache"] = (
-        DijkstraRowCache(row_cache_size) if row_cache_size else None
+    return SNDEngine(
+        snd,
+        jobs=jobs,
+        executor=executor,
+        caches=caches,
+        use_row_cache=row_cache is not None,
     )
-
-
-def _series_chunk_worker(start: int, stop: int) -> tuple[int, list[float]]:
-    """Distances for transitions ``start .. stop-1`` (contiguous, so the
-    worker cache gets the same adjacent-state reuse as the serial sweep)."""
-    snd, states, cache = _WORKER["snd"], _WORKER["states"], _WORKER["cache"]
-    row_cache = _WORKER.get("row_cache")
-    out = [
-        _pair_distance(snd, states[t], states[t + 1], cache, row_cache)
-        for t in range(start, stop)
-    ]
-    return start, out
-
-
-def _pairwise_chunk_worker(pairs: list[tuple[int, int]]) -> list[float]:
-    """Distances for explicit ``(i, j)`` pairs (grouped by row upstream so
-    the supplier-side cost arrays stay hot in the worker cache)."""
-    snd, states, cache = _WORKER["snd"], _WORKER["states"], _WORKER["cache"]
-    row_cache = _WORKER.get("row_cache")
-    return [
-        _pair_distance(snd, states[i], states[j], cache, row_cache) for i, j in pairs
-    ]
-
-
-def _chunk_ranges(n_items: int, n_chunks: int) -> list[tuple[int, int]]:
-    """Split ``0..n_items`` into at most *n_chunks* contiguous ranges.
-
-    Degenerate inputs are handled explicitly: ``n_items <= 0`` yields no
-    ranges, and ``n_chunks`` is clamped to ``1..n_items`` (asking for more
-    chunks than items never produces empty ranges).
-    """
-    if n_items <= 0:
-        return []
-    n_chunks = max(1, min(int(n_chunks), n_items))
-    bounds = np.linspace(0, n_items, n_chunks + 1).astype(int)
-    return [(int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:]) if b > a]
-
-
-def _missing_runs(missing: list[int], jobs: int) -> list[tuple[int, int]]:
-    """Contiguous ``(start, stop)`` runs over *missing* (sorted indices),
-    with long runs split so the task count roughly matches *jobs*."""
-    runs: list[tuple[int, int]] = []
-    i = 0
-    while i < len(missing):
-        j = i
-        while j + 1 < len(missing) and missing[j + 1] == missing[j] + 1:
-            j += 1
-        runs.append((missing[i], missing[j] + 1))
-        i = j + 1
-    target = max(1, -(-len(missing) // max(1, jobs)))  # ceil division
-    tasks: list[tuple[int, int]] = []
-    for start, stop in runs:
-        for a, b in _chunk_ranges(stop - start, -(-(stop - start) // target)):
-            tasks.append((start + a, start + b))
-    return tasks
-
-
-def _resolve_executor(executor: str):
-    if executor == "process":
-        return ProcessPoolExecutor
-    if executor == "thread":
-        return ThreadPoolExecutor
-    raise ValidationError(
-        f"executor must be 'process' or 'thread', got {executor!r}"
-    )
-
-
-# --------------------------------------------------------------------- #
-# Public batch APIs
-# --------------------------------------------------------------------- #
 
 
 def evaluate_series(
@@ -422,11 +111,10 @@ def evaluate_series(
     touching it (``2·(T-1) + 2`` builds total instead of ``4·(T-1)``).
 
     Parallel (``jobs >= 2``): transitions are split into contiguous chunks
-    over a :mod:`concurrent.futures` pool. Process workers receive
-    ``(snd, state matrix)`` once via the pool initializer and keep private
-    caches; thread workers share *cache* (and *row_cache*) directly. Chunk
-    boundaries cost at most 2 extra builds each, so builds stay
-    ``<= 2·(T-1) + 2·jobs``.
+    over the engine's pool. Process workers attach once to a
+    shared-memory state matrix and keep private caches; thread workers
+    share *cache* (and *row_cache*) directly. Chunk boundaries cost at
+    most 2 extra builds each, so builds stay ``<= 2·(T-1) + 2·jobs``.
 
     *transitions* (optional :class:`TransitionCache`) memoises finished
     values across calls: cached transitions are answered before any worker
@@ -437,87 +125,21 @@ def evaluate_series(
     ``(T-1,)`` array as the from-scratch sweep.
 
     Values are bit-identical to ``[snd.distance(a, b) for a, b in
-    series.transitions()]`` in every mode.
+    series.transitions()]`` in every mode. This is a one-shot wrapper over
+    :class:`~repro.snd.engine.SNDEngine`; hold an engine for repeated
+    sweeps to keep its pool warm.
     """
-    n_transitions = len(series) - 1
-    if n_transitions <= 0:
-        return np.empty(0, dtype=np.float64)
-    if cache is None:
-        cache = GroundCostCache(DEFAULT_CACHE_SIZE)
-
-    if window is not None:
-        if window < 2:
-            raise ValidationError(
-                f"window must span at least one transition (>= 2 states), "
-                f"got {window}"
-            )
-        if transitions is None:
-            transitions = TransitionCache()
-        window = min(int(window), len(series))
-        out = np.empty(n_transitions, dtype=np.float64)
-        for start in range(0, len(series) - window + 1):
-            vals = evaluate_series(
-                snd,
-                series[start : start + window],
-                jobs=jobs,
-                cache=cache,
-                executor=executor,
-                transitions=transitions,
-                row_cache=row_cache,
-            )
-            out[start : start + window - 1] = vals
-        return out
-
-    out = np.empty(n_transitions, dtype=np.float64)
-    if transitions is not None:
-        missing: list[int] = []
-        states = list(series)
-        for t in range(n_transitions):
-            cached_value = transitions.get(states[t], states[t + 1])
-            if cached_value is None:
-                missing.append(t)
-            else:
-                out[t] = cached_value
-        if not missing:
-            return out
-    else:
-        missing = list(range(n_transitions))
-
-    if jobs is None or jobs <= 1 or len(missing) == 1:
-        for t in missing:
-            out[t] = _pair_distance(snd, series[t], series[t + 1], cache, row_cache)
-            if transitions is not None:
-                transitions.put(series[t], series[t + 1], out[t])
-        return out
-
-    pool_cls = _resolve_executor(executor)
-    tasks = _missing_runs(missing, int(jobs))
-    if pool_cls is ThreadPoolExecutor:
-        # Threads share the caller-visible caches; no initializer needed.
-        def run(start: int, stop: int) -> tuple[int, list[float]]:
-            vals = [
-                _pair_distance(snd, series[t], series[t + 1], cache, row_cache)
-                for t in range(start, stop)
-            ]
-            return start, vals
-
-        with ThreadPoolExecutor(max_workers=min(len(tasks), int(jobs))) as pool:
-            for start, vals in pool.map(lambda r: run(*r), tasks):
-                out[start : start + len(vals)] = vals
-    else:
-        matrix = series.to_matrix()
-        row_cache_size = row_cache.maxsize if row_cache is not None else 0
-        with ProcessPoolExecutor(
-            max_workers=min(len(tasks), int(jobs)),
-            initializer=_init_worker,
-            initargs=(snd, matrix, cache.maxsize, row_cache_size),
-        ) as pool:
-            for start, vals in pool.map(_series_chunk_worker, *zip(*tasks)):
-                out[start : start + len(vals)] = vals
-    if transitions is not None:
-        for t in missing:
-            transitions.put(series[t], series[t + 1], out[t])
-    return out
+    if window is not None and transitions is None:
+        transitions = TransitionCache()
+    with _transient_engine(
+        snd,
+        jobs=jobs,
+        executor=executor,
+        cache=cache,
+        row_cache=row_cache,
+        transitions=transitions,
+    ) as engine:
+        return engine.evaluate_series(series, transitions=transitions, window=window)
 
 
 def pairwise_matrix(
@@ -528,61 +150,35 @@ def pairwise_matrix(
     cache: GroundCostCache | None = None,
     executor: str = "process",
     row_cache: DijkstraRowCache | None = None,
+    transitions: TransitionCache | None = None,
 ) -> np.ndarray:
     """Symmetric ``(N, N)`` SND matrix over *states*, upper triangle only.
 
     Eq. 3 is symmetric by construction, so only the ``N·(N-1)/2`` pairs
-    ``i < j`` are evaluated and mirrored; the diagonal is exactly 0. With
-    a cache of capacity ``>= 2·N`` each state's two cost arrays are built
-    once (``2·N`` builds instead of ``4·N·(N-1)/2``). Pairs are grouped by
-    row before chunking so worker caches keep the supplier side hot, and
-    *row_cache* (optional) reuses per-source Dijkstra rows across the many
-    pairs sharing a supplier state.
+    ``i < j`` are evaluated and mirrored; the diagonal is exactly 0. The
+    ground cache is grown to capacity ``>= 2·N`` so each state's two cost
+    arrays are built once (``2·N`` builds instead of ``4·N·(N-1)/2``).
+    Pairs are grouped by row before chunking so worker caches keep the
+    supplier side hot, and *row_cache* (optional) reuses per-source
+    Dijkstra rows across the many pairs sharing a supplier state.
+    *transitions* (optional) answers already-solved pairs before dispatch
+    — the incremental-extension lever of
+    :class:`~repro.snd.engine.Corpus`.
 
     *states* may be a :class:`StateSeries` or any sequence of
     :class:`NetworkState`; 0- and 1-state inputs yield the corresponding
-    trivial (all-zero) matrix.
+    trivial (all-zero) matrix. One-shot wrapper over
+    :class:`~repro.snd.engine.SNDEngine`.
     """
     states = list(states)
-    n = len(states)
-    out = np.zeros((n, n), dtype=np.float64)
-    if n < 2:
-        return out
     if cache is None:
-        cache = GroundCostCache(max(DEFAULT_CACHE_SIZE, 2 * n))
-
-    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
-
-    if jobs is None or jobs <= 1 or len(pairs) == 1:
-        for i, j in pairs:
-            out[i, j] = out[j, i] = _pair_distance(
-                snd, states[i], states[j], cache, row_cache
-            )
-        return out
-
-    pool_cls = _resolve_executor(executor)
-    ranges = _chunk_ranges(len(pairs), int(jobs))
-    chunks = [pairs[a:b] for a, b in ranges]
-    if pool_cls is ThreadPoolExecutor:
-        def run(chunk: list[tuple[int, int]]) -> list[float]:
-            return [
-                _pair_distance(snd, states[i], states[j], cache, row_cache)
-                for i, j in chunk
-            ]
-
-        with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
-            results = list(pool.map(run, chunks))
-    else:
-        matrix = np.vstack([s.values for s in states])
-        row_cache_size = row_cache.maxsize if row_cache is not None else 0
-        with ProcessPoolExecutor(
-            max_workers=len(chunks),
-            initializer=_init_worker,
-            initargs=(snd, matrix, max(cache.maxsize, 2 * n), row_cache_size),
-        ) as pool:
-            results = list(pool.map(_pairwise_chunk_worker, chunks))
-
-    for chunk, values in zip(chunks, results):
-        for (i, j), v in zip(chunk, values):
-            out[i, j] = out[j, i] = v
-    return out
+        cache = GroundCostCache(max(DEFAULT_CACHE_SIZE, 2 * len(states)))
+    with _transient_engine(
+        snd,
+        jobs=jobs,
+        executor=executor,
+        cache=cache,
+        row_cache=row_cache,
+        transitions=transitions,
+    ) as engine:
+        return engine.pairwise_matrix(states, transitions=transitions)

@@ -1,0 +1,436 @@
+"""The unified SND cache hierarchy.
+
+Every SND entry point — single-pair :meth:`repro.snd.snd.SND.evaluate`,
+the batch wrappers in :mod:`repro.snd.batch`, the persistent
+:class:`repro.snd.engine.SNDEngine`, and the distance registry — reuses
+work at three levels:
+
+1. **Ground costs** (:class:`GroundCostCache`): Eq. 2 edge-cost arrays
+   keyed by ``(state fingerprint, opinion)``. A series sweep builds
+   ``2·(T-1) + 2`` arrays instead of ``4·(T-1)``; a pairwise matrix over
+   ``N`` states builds ``2·N`` instead of ``2·N·(N-1)``.
+2. **Shortest-path rows** (:class:`DijkstraRowCache`): per-source Dijkstra
+   rows keyed by ``(cost key, direction, source)``. Rows are independent
+   per source, so stitching cached and fresh rows is bit-identical to one
+   batched run.
+3. **Finished transitions** (:class:`TransitionCache`): whole SND values
+   keyed by the ordered state-fingerprint pair. Sliding windows re-solve
+   exactly one transition per shift; corpus extensions solve only the new
+   pairs.
+
+:class:`CacheManager` bundles one instance of each under a single,
+optional **shared memory budget** and one stats surface: when the total
+retained payload exceeds the budget, entries are evicted
+least-recently-used from whichever cache currently retains the most
+bytes, so one oversized layer cannot starve the others.  All three caches
+were historically defined in :mod:`repro.snd.batch`; that module re-exports
+them, so existing imports keep working.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.opinions.state import NetworkState
+
+__all__ = [
+    "DEFAULT_CACHE_SIZE",
+    "DEFAULT_ROW_CACHE_SIZE",
+    "DEFAULT_TRANSITION_CACHE_SIZE",
+    "GroundCostCache",
+    "DijkstraRowCache",
+    "TransitionCache",
+    "CacheManager",
+]
+
+#: Default bound on cached cost arrays. A series sweep only ever has 4
+#: entries live (two states x two polarities); pairwise callers size their
+#: cache to ``2·N`` explicitly. 64 leaves room for sliding-window reuse
+#: while bounding retained memory at ``64 · m`` floats.
+DEFAULT_CACHE_SIZE = 64
+
+#: Default bound on cached Dijkstra rows (one row = ``n`` floats; 256 rows
+#: of a 2000-node graph retain ~4 MB).
+DEFAULT_ROW_CACHE_SIZE = 256
+
+#: Default bound on cached transition values. Entries are single floats
+#: keyed by two fingerprints, so a large default is cheap and lets long
+#: sliding-window sweeps reuse every previously solved transition.
+DEFAULT_TRANSITION_CACHE_SIZE = 65536
+
+
+def _value_nbytes(value) -> int:
+    """Approximate retained payload bytes of one cache entry."""
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, float):
+        return 8
+    return int(sys.getsizeof(value))
+
+
+class _LruCache:
+    """Bounded thread-safe LRU shared by the three SND caches.
+
+    ``hits`` / ``misses`` / ``evictions`` counters make reuse testable:
+    ``misses`` equals the number of fresh computations performed through
+    the cache. Retained payload bytes are tracked in :attr:`nbytes` so a
+    :class:`CacheManager` can enforce a budget across caches. Pickling
+    drops the entries and the lock (process-pool workers rebuild their own
+    caches; shipping entries across the boundary defeats the point).
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValidationError(f"cache maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self._manager: "CacheManager | None" = None
+        self._nbytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _get(self, key):
+        """Entry for *key* (counting a hit) or ``None`` (counting a miss)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+            else:
+                self.misses += 1
+            return entry
+
+    def _put(self, key, value) -> None:
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._nbytes -= _value_nbytes(old)
+            self._entries[key] = value
+            self._nbytes += _value_nbytes(value)
+            while len(self._entries) > self.maxsize:
+                self._evict_oldest_locked()
+        if self._manager is not None:
+            self._manager._rebalance()
+
+    def _evict_oldest_locked(self) -> int:
+        _, value = self._entries.popitem(last=False)
+        freed = _value_nbytes(value)
+        self._nbytes -= freed
+        self.evictions += 1
+        return freed
+
+    def evict_oldest(self) -> int:
+        """Drop the least-recently-used entry; returns the bytes freed."""
+        with self._lock:
+            if not self._entries:
+                return 0
+            return self._evict_oldest_locked()
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate retained payload bytes."""
+        return self._nbytes
+
+    def grow(self, maxsize: int) -> None:
+        """Raise :attr:`maxsize` to at least *maxsize* (never shrinks)."""
+        self.maxsize = max(self.maxsize, int(maxsize))
+
+    def stats(self) -> dict:
+        """Counters snapshot: hits, misses, builds, evictions, size, bytes."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "builds": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+            "nbytes": self._nbytes,
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._nbytes = 0
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]  # locks cannot cross pickle; workers re-create
+        state["_entries"] = OrderedDict()  # entries don't travel: workers
+        state["_nbytes"] = 0  # rebuild their own; shipping arrays defeats the point
+        state["_manager"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(size={len(self._entries)}/{self.maxsize}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+class GroundCostCache(_LruCache):
+    """Bounded LRU cache of Eq. 2 edge-cost arrays.
+
+    Keys are ``(state fingerprint, opinion)`` where the fingerprint is the
+    raw opinion-vector bytes — two states with equal opinions share an
+    entry regardless of object identity. Values are the CSR-aligned cost
+    arrays of :meth:`repro.snd.ground.GroundDistanceConfig.edge_costs`;
+    they are treated as immutable once cached.
+
+    The cache is thread-safe (one lock around lookups/inserts) so a thread
+    fan-out can share a single instance; process workers each hold their
+    own. ``misses`` equals the number of ground-cost builds performed.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE) -> None:
+        super().__init__(maxsize)
+
+    @staticmethod
+    def fingerprint(state: NetworkState) -> bytes:
+        """Content key for *state* (equal opinions => equal fingerprint)."""
+        return state.values.tobytes()
+
+    def edge_costs(self, ground, graph, state: NetworkState, opinion: int) -> np.ndarray:
+        """Cached ``ground.edge_costs(graph, state, opinion)``."""
+        key = (self.fingerprint(state), int(opinion))
+        cached = self._get(key)
+        if cached is not None:
+            return cached
+        costs = ground.edge_costs(graph, state, opinion)
+        self._put(key, costs)
+        return costs
+
+    @property
+    def builds(self) -> int:
+        """Number of ground-cost arrays actually built (== misses)."""
+        return self.misses
+
+
+class DijkstraRowCache(_LruCache):
+    """Bounded LRU cache of per-source shortest-path rows.
+
+    A row is ``dist(source -> ·)`` (or ``dist(· -> source)`` when
+    *reverse*) under one supplier-side cost array; the key is
+    ``(cost_key, reverse, source)`` where ``cost_key`` is the ground-cost
+    cache key ``(state fingerprint, opinion)``. Rows are independent per
+    source, so a matrix stitched from cached and freshly computed rows is
+    bit-identical to one batched :func:`multi_source_distances` call —
+    which is what makes the cache safe for the exactness contract of the
+    batch engine.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_ROW_CACHE_SIZE) -> None:
+        super().__init__(maxsize)
+
+    def distance_rows(
+        self,
+        graph,
+        sources,
+        edge_costs: np.ndarray,
+        *,
+        reverse: bool,
+        engine: str,
+        heap: str,
+        cost_key,
+    ) -> np.ndarray:
+        """``multi_source_distances`` with per-source row memoisation."""
+        from repro.shortestpath.dijkstra import multi_source_distances
+
+        sources = np.atleast_1d(np.asarray(sources, dtype=np.int64))
+        n = graph.num_nodes
+        out = np.empty((sources.size, n), dtype=np.float64)
+        missing: list[int] = []
+        for i, s in enumerate(sources):
+            row = self._get((cost_key, bool(reverse), int(s)))
+            if row is None:
+                missing.append(i)
+            else:
+                out[i] = row
+        if missing:
+            fresh = multi_source_distances(
+                graph,
+                sources[missing],
+                weights=edge_costs,
+                engine=engine,
+                heap=heap,
+                reverse=reverse,
+            )
+            for k, i in enumerate(missing):
+                out[i] = fresh[k]
+                row = fresh[k].copy()
+                row.setflags(write=False)
+                self._put((cost_key, bool(reverse), int(sources[i])), row)
+        return out
+
+
+class TransitionCache(_LruCache):
+    """Bounded LRU cache of finished SND transition values.
+
+    Keys are the *ordered* fingerprint pair of the two states (Eq. 3 is
+    symmetric, but term summation order differs under a swap, so the
+    ordered key preserves the bit-identical contract); values are floats.
+    ``misses`` counts fresh transitions actually solved — a sliding window
+    shifted by one state shows exactly one miss per shift, and a corpus
+    extension shows exactly one miss per *new* pair.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_TRANSITION_CACHE_SIZE) -> None:
+        super().__init__(maxsize)
+
+    @staticmethod
+    def key(a: NetworkState, b: NetworkState) -> tuple[bytes, bytes]:
+        return (GroundCostCache.fingerprint(a), GroundCostCache.fingerprint(b))
+
+    def get(self, a: NetworkState, b: NetworkState) -> float | None:
+        """Cached distance for the ordered pair, or ``None`` (counts the
+        miss — the caller is expected to solve and :meth:`put` it)."""
+        return self._get(self.key(a, b))
+
+    def put(self, a: NetworkState, b: NetworkState, value: float) -> None:
+        self._put(self.key(a, b), float(value))
+
+    def contains(self, a: NetworkState, b: NetworkState) -> bool:
+        """Membership probe that does **not** touch the hit/miss counters
+        (used when seeding the cache with already-solved values, so
+        ``fresh`` keeps counting exactly the pairs actually solved)."""
+        return self.key(a, b) in self._entries
+
+    @property
+    def fresh(self) -> int:
+        """Number of transitions actually solved (== misses)."""
+        return self.misses
+
+    @property
+    def reused(self) -> int:
+        """Number of transitions answered from the cache (== hits)."""
+        return self.hits
+
+
+class CacheManager:
+    """One cache hierarchy for every SND entry point.
+
+    Bundles a :class:`GroundCostCache`, a :class:`DijkstraRowCache`, and a
+    :class:`TransitionCache` behind a single stats surface and an optional
+    shared *memory_budget* (bytes). Existing cache instances can be
+    adopted (``CacheManager(ground=my_cache)``), which is how the batch
+    wrappers keep honouring caller-supplied caches while the engine sees
+    one unified hierarchy.
+
+    The budget is enforced on insert: while the total retained payload
+    exceeds it, the least-recently-used entry of whichever member cache
+    currently retains the most bytes is evicted (so an oversized row cache
+    cannot crowd out the ground-cost arrays, and vice versa). Eviction
+    never breaks correctness — every cache is a pure memoisation layer —
+    it only costs rebuilds, which the per-cache ``evictions`` counters
+    expose.
+
+    Pickling ships the configuration but no entries (same contract as the
+    member caches): process-pool workers rebuild their own hierarchy.
+    """
+
+    def __init__(
+        self,
+        *,
+        ground_size: int = DEFAULT_CACHE_SIZE,
+        row_size: int = DEFAULT_ROW_CACHE_SIZE,
+        transition_size: int = DEFAULT_TRANSITION_CACHE_SIZE,
+        memory_budget: int | None = None,
+        ground: GroundCostCache | None = None,
+        rows: DijkstraRowCache | None = None,
+        transitions: TransitionCache | None = None,
+    ) -> None:
+        if memory_budget is not None and memory_budget < 1:
+            raise ValidationError(
+                f"memory_budget must be >= 1 byte, got {memory_budget}"
+            )
+        self.memory_budget = memory_budget
+        self.ground = ground if ground is not None else GroundCostCache(ground_size)
+        self.rows = rows if rows is not None else DijkstraRowCache(row_size)
+        self.transitions = (
+            transitions if transitions is not None else TransitionCache(transition_size)
+        )
+        for cache in self._members():
+            # Adopt unowned caches only: a cache already reporting to a
+            # budgeted manager keeps doing so when a transient wrapper
+            # manager borrows it for one call.
+            if cache._manager is None:
+                cache._manager = self
+
+    def _members(self) -> tuple[_LruCache, ...]:
+        return (self.ground, self.rows, self.transitions)
+
+    @property
+    def nbytes(self) -> int:
+        """Total retained payload bytes across the hierarchy."""
+        return sum(cache.nbytes for cache in self._members())
+
+    def _rebalance(self) -> None:
+        """Evict LRU entries from the biggest cache until under budget."""
+        if self.memory_budget is None:
+            return
+        while self.nbytes > self.memory_budget:
+            victim = max(self._members(), key=lambda c: c.nbytes)
+            if victim.evict_oldest() == 0:
+                break  # nothing evictable left anywhere
+
+    def ensure_ground_capacity(self, n_entries: int) -> None:
+        """Grow the ground cache so *n_entries* cost arrays fit at once
+        (pairwise sweeps size it to ``2·N`` to keep builds linear)."""
+        self.ground.grow(n_entries)
+
+    def stats(self) -> dict:
+        """Per-cache counters plus the hierarchy totals.
+
+        Keys ``ground`` / ``rows`` / ``transitions`` each map to the
+        member's :meth:`_LruCache.stats` dict (hits, misses, builds,
+        evictions, size, maxsize, nbytes); ``total_nbytes`` and
+        ``memory_budget`` summarise the shared budget.
+        """
+        return {
+            "ground": self.ground.stats(),
+            "rows": self.rows.stats(),
+            "transitions": self.transitions.stats(),
+            "total_nbytes": self.nbytes,
+            "memory_budget": self.memory_budget,
+        }
+
+    def clear(self) -> None:
+        for cache in self._members():
+            cache.clear()
+
+    def __getstate__(self):
+        return {
+            "memory_budget": self.memory_budget,
+            "ground": self.ground,
+            "rows": self.rows,
+            "transitions": self.transitions,
+        }
+
+    def __setstate__(self, state):
+        self.memory_budget = state["memory_budget"]
+        self.ground = state["ground"]
+        self.rows = state["rows"]
+        self.transitions = state["transitions"]
+        for cache in self._members():
+            if cache._manager is None:
+                cache._manager = self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CacheManager(ground={len(self.ground)}, rows={len(self.rows)}, "
+            f"transitions={len(self.transitions)}, nbytes={self.nbytes}, "
+            f"budget={self.memory_budget})"
+        )

@@ -13,7 +13,7 @@ Per EMD* term the pipeline is:
    metric additionally runs one multi-source Dijkstra per cluster hosting
    changed users. Rows are per-source and depend only on the supplier-side
    edge costs, so batch sweeps hand in a
-   :class:`~repro.snd.batch.DijkstraRowCache` to reuse rows of unchanged
+   :class:`~repro.snd.cache.DijkstraRowCache` to reuse rows of unchanged
    sources across terms and transitions.
 3. **Solve the reduced problem**: ``solver="auto"`` (via
    :func:`repro.flow.select_transport_method`) picks per instance between
@@ -199,7 +199,7 @@ def emd_star_term_fast(
         ``"nearest"`` (default, semimetric-preserving) or ``"cluster"``
         (the literal Eq. 4); see :func:`repro.emd.emd_star.build_extension`.
     row_cache, cost_key:
-        Optional :class:`~repro.snd.batch.DijkstraRowCache` plus the
+        Optional :class:`~repro.snd.cache.DijkstraRowCache` plus the
         content key of *edge_costs* (state fingerprint, opinion); per-source
         Dijkstra rows are then reused across terms sharing the key.
     """

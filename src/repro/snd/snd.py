@@ -13,7 +13,7 @@ to time-unordered state pairs.
 
 Batch workloads (series sweeps, pairwise matrices) go through
 :meth:`SND.evaluate_series` / :meth:`SND.pairwise_matrix`, which share a
-:class:`~repro.snd.batch.GroundCostCache` of Eq. 2 cost arrays and accept a
+:class:`~repro.snd.cache.GroundCostCache` of Eq. 2 cost arrays and accept a
 ``jobs=`` parallel fan-out (see :mod:`repro.snd.batch`).
 """
 
@@ -29,12 +29,12 @@ from repro.opinions.models.base import OpinionModel
 from repro.opinions.models.model_agnostic import ModelAgnostic
 from repro.opinions.state import NEGATIVE, POSITIVE, NetworkState, StateSeries
 from repro.snd.banks import BankAllocation, allocate_banks
-from repro.snd.batch import (
+from repro.snd.batch import evaluate_series, pairwise_matrix
+from repro.snd.cache import (
+    CacheManager,
     DijkstraRowCache,
     GroundCostCache,
     TransitionCache,
-    evaluate_series,
-    pairwise_matrix,
 )
 from repro.snd.fast import SOLVER_CHOICES, FastTermStats, emd_star_term_fast
 from repro.snd.ground import DEFAULT_MAX_COST, GroundDistanceConfig
@@ -150,9 +150,7 @@ class SND:
         self.solver = solver
         self.bank_metric = bank_metric
         self.bank_shares = bank_shares
-        self._ground_cache: GroundCostCache | None = None
-        self._row_cache: DijkstraRowCache | None = None
-        self._transition_cache: TransitionCache | None = None
+        self._caches: CacheManager | None = None
 
     # ------------------------------------------------------------------ #
 
@@ -183,7 +181,7 @@ class SND:
         *row_cache* / *cost_key* (the batch engine's ``(state fingerprint,
         opinion)`` content key for *edge_costs*) additionally reuse
         per-source Dijkstra rows across terms — value-preserving, see
-        :class:`~repro.snd.batch.DijkstraRowCache`.
+        :class:`~repro.snd.cache.DijkstraRowCache`.
         """
         self._check_state(supplier_state)
         self._check_state(consumer_state)
@@ -226,40 +224,52 @@ class SND:
     # ------------------------------------------------------------------ #
 
     @property
-    def ground_cache(self) -> GroundCostCache:
-        """The instance-level ground-cost cache shared by the batch APIs.
+    def caches(self) -> CacheManager:
+        """The instance-level cache hierarchy shared by every entry point.
 
-        Created lazily; :meth:`evaluate_series` and :meth:`pairwise_matrix`
-        draw Eq. 2 cost arrays from it unless handed an explicit cache, so
-        repeated sweeps over overlapping states (sliding windows, matrix
-        extensions) reuse earlier builds.
+        Created lazily; single-pair calls are cache-free, but the batch
+        wrappers, :class:`~repro.snd.engine.SNDEngine`, the distance
+        registry, and :class:`~repro.snd.engine.Corpus` all draw from this
+        one :class:`~repro.snd.cache.CacheManager` unless handed an
+        explicit hierarchy, so repeated sweeps over overlapping states
+        (sliding windows, matrix extensions, streams) reuse earlier work.
         """
-        if self._ground_cache is None:
-            self._ground_cache = GroundCostCache()
-        return self._ground_cache
+        if self._caches is None:
+            self._caches = CacheManager()
+        return self._caches
+
+    @property
+    def ground_cache(self) -> GroundCostCache:
+        """The instance-level ground-cost cache (``caches.ground``):
+        Eq. 2 cost arrays keyed by state content and polarity."""
+        return self.caches.ground
 
     @property
     def row_cache(self) -> DijkstraRowCache:
-        """The instance-level per-source Dijkstra row cache.
-
-        Created lazily; the batch APIs reuse rows of sources whose
-        supplier-side costs did not change between terms (value-preserving
-        — see :class:`~repro.snd.batch.DijkstraRowCache`).
-        """
-        if self._row_cache is None:
-            self._row_cache = DijkstraRowCache()
-        return self._row_cache
+        """The instance-level per-source Dijkstra row cache
+        (``caches.rows``); reuses rows of sources whose supplier-side
+        costs did not change between terms (value-preserving — see
+        :class:`~repro.snd.cache.DijkstraRowCache`)."""
+        return self.caches.rows
 
     @property
     def transition_cache(self) -> TransitionCache:
-        """The instance-level cache of finished transition values.
+        """The instance-level cache of finished transition values
+        (``caches.transitions``); windowed sweeps (``window=``) draw from
+        it so a window shifted by one state re-solves exactly one
+        transition."""
+        return self.caches.transitions
 
-        Created lazily; windowed sweeps (``window=``) draw from it so a
-        window shifted by one state re-solves exactly one transition.
+    def create_engine(self, *, jobs="auto", executor: str = "process", **kwargs):
+        """A persistent :class:`~repro.snd.engine.SNDEngine` over this
+        instance, sharing its cache hierarchy (see
+        :mod:`repro.snd.engine`). The caller owns its lifetime — use it as
+        a context manager or call ``close()``. (Named ``create_engine``
+        because :attr:`engine` is the shortest-path engine knob.)
         """
-        if self._transition_cache is None:
-            self._transition_cache = TransitionCache()
-        return self._transition_cache
+        from repro.snd.engine import SNDEngine
+
+        return SNDEngine(self, jobs=jobs, executor=executor, **kwargs)
 
     def evaluate_series(
         self,
@@ -316,7 +326,9 @@ class SND:
             if cache.maxsize < 2 * len(states):
                 # The instance cache is too small to hold every state's two
                 # cost arrays — a transient right-sized cache keeps builds
-                # at 2N instead of thrashing toward N^2.
+                # at 2N without permanently pinning 2N arrays on the
+                # instance (a long-lived SNDEngine grows its own hierarchy
+                # instead, by explicit opt-in).
                 cache = GroundCostCache(2 * len(states))
         return pairwise_matrix(
             self,

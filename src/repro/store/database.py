@@ -19,7 +19,7 @@ import numpy as np
 from repro.exceptions import StoreError
 from repro.graph.digraph import DiGraph
 from repro.opinions.state import StateSeries
-from repro.store.schema import DDL, SCHEMA_VERSION
+from repro.store.schema import DDL, MIGRATIONS, SCHEMA_VERSION
 
 __all__ = ["ExperimentStore"]
 
@@ -39,11 +39,14 @@ def _graph_from_blob(blob: bytes) -> DiGraph:
 
 def _series_blob(series: StateSeries) -> bytes:
     buf = io.BytesIO()
-    labels = np.asarray(series.labels if series.labels is not None else [], dtype=object)
+    labels = series.labels if series.labels is not None else []
+    # No explicit itemsize: numpy sizes the unicode dtype to the longest
+    # label, so nothing is silently truncated (a fixed "U64" used to clip
+    # labels beyond 64 characters on save).
     np.savez_compressed(
         buf,
         matrix=series.to_matrix(),
-        labels=np.asarray([str(x) for x in labels], dtype="U64"),
+        labels=np.asarray([str(x) for x in labels], dtype=np.str_),
     )
     return buf.getvalue()
 
@@ -77,11 +80,43 @@ class ExperimentStore:
             raise StoreError(f"cannot open store at {self.path}: {exc}") from exc
         self._conn.execute("PRAGMA foreign_keys = ON")
         self._conn.executescript(DDL)
+        self._migrate()
+
+    def _migrate(self) -> None:
+        """Apply pending schema migrations in version order.
+
+        A database without a recorded version is treated as v1 (the base
+        DDL), so stores written by earlier releases upgrade in place; new
+        databases run every migration after the base DDL — one code path.
+        """
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        current = int(row[0]) if row is not None else 1
+        if current > SCHEMA_VERSION:
+            raise StoreError(
+                f"store at {self.path} has schema v{current}, newer than "
+                f"this library's v{SCHEMA_VERSION}"
+            )
+        for version in range(current + 1, SCHEMA_VERSION + 1):
+            try:
+                self._conn.executescript(MIGRATIONS[version])
+            except sqlite3.Error as exc:
+                raise StoreError(
+                    f"migration to schema v{version} failed: {exc}"
+                ) from exc
         self._conn.execute(
             "INSERT OR REPLACE INTO meta (key, value) VALUES ('schema_version', ?)",
             (str(SCHEMA_VERSION),),
         )
         self._conn.commit()
+
+    @property
+    def schema_version(self) -> int:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        return int(row[0])
 
     def close(self) -> None:
         self._conn.close()
@@ -166,6 +201,91 @@ class ExperimentStore:
         if row is None:
             raise StoreError(f"no series {series_name!r} under graph {graph_name!r}")
         return _series_from_blob(row[0])
+
+    def series_id(self, graph_name: str, series_name: str) -> int:
+        """Row id of a stored series (for :meth:`record_distance` keys)."""
+        row = self._conn.execute(
+            "SELECT s.id FROM state_series s JOIN graphs g ON s.graph_id = g.id "
+            "WHERE g.name = ? AND s.name = ?",
+            (graph_name, series_name),
+        ).fetchone()
+        if row is None:
+            raise StoreError(f"no series {series_name!r} under graph {graph_name!r}")
+        return int(row[0])
+
+    # ------------------------------------------------------------------ #
+    # Corpora (schema v2)
+    # ------------------------------------------------------------------ #
+
+    def save_corpus(
+        self,
+        graph_name: str,
+        corpus_name: str,
+        states: StateSeries,
+        matrix: np.ndarray,
+        *,
+        replace: bool = True,
+    ) -> int:
+        """Persist a corpus: its member states plus the pairwise SND
+        matrix maintained by :class:`repro.snd.engine.Corpus`."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.shape != (len(states), len(states)):
+            raise StoreError(
+                f"matrix shape {matrix.shape} does not match "
+                f"{len(states)} corpus states"
+            )
+        graph_row = self._conn.execute(
+            "SELECT id FROM graphs WHERE name = ?", (graph_name,)
+        ).fetchone()
+        if graph_row is None:
+            raise StoreError(f"no graph named {graph_name!r} for corpus")
+        graph_id = int(graph_row[0])
+        buf = io.BytesIO()
+        np.savez_compressed(buf, states=states.to_matrix(), matrix=matrix)
+        try:
+            if replace:
+                self._conn.execute(
+                    "DELETE FROM corpora WHERE graph_id = ? AND name = ?",
+                    (graph_id, corpus_name),
+                )
+            cursor = self._conn.execute(
+                "INSERT INTO corpora (graph_id, name, n_states, blob) "
+                "VALUES (?, ?, ?, ?)",
+                (graph_id, corpus_name, len(states), buf.getvalue()),
+            )
+            self._conn.commit()
+        except sqlite3.Error as exc:
+            raise StoreError(f"failed to save corpus {corpus_name!r}: {exc}") from exc
+        return int(cursor.lastrowid)
+
+    def load_corpus(self, graph_name: str, corpus_name: str) -> tuple[StateSeries, np.ndarray]:
+        """``(states, matrix)`` of a stored corpus."""
+        row = self._conn.execute(
+            "SELECT c.blob FROM corpora c JOIN graphs g ON c.graph_id = g.id "
+            "WHERE g.name = ? AND c.name = ?",
+            (graph_name, corpus_name),
+        ).fetchone()
+        if row is None:
+            raise StoreError(f"no corpus {corpus_name!r} under graph {graph_name!r}")
+        with np.load(io.BytesIO(row[0])) as data:
+            return (
+                StateSeries.from_matrix(data["states"]),
+                np.asarray(data["matrix"], dtype=np.float64),
+            )
+
+    def list_corpora(self, graph_name: str | None = None) -> list[tuple[str, str, int]]:
+        """``(graph_name, corpus_name, n_states)`` rows, optionally
+        filtered to one graph."""
+        query = (
+            "SELECT g.name, c.name, c.n_states FROM corpora c "
+            "JOIN graphs g ON c.graph_id = g.id"
+        )
+        params: tuple = ()
+        if graph_name is not None:
+            query += " WHERE g.name = ?"
+            params = (graph_name,)
+        query += " ORDER BY g.name, c.name"
+        return [(r[0], r[1], int(r[2])) for r in self._conn.execute(query, params)]
 
     # ------------------------------------------------------------------ #
     # Results

@@ -3,9 +3,20 @@
 Design notes: graphs and state series are stored as compressed npz blobs
 (they are opaque to SQL queries), while run results are first-class rows so
 ``EXPERIMENTS.md`` tables can be regenerated with plain SQL.
+
+Versioning: ``DDL`` holds the v1 base schema; later versions live in
+``MIGRATIONS`` (version -> idempotent SQL script) and are applied in order
+on open, so a store created by any earlier release upgrades in place. New
+databases run the same path (base DDL, then every migration), keeping one
+code path for both.
+
+v2 adds ``corpora``: appendable state collections with their incrementally
+extended pairwise SND matrices (:class:`repro.snd.engine.Corpus`), so the
+§9 metric-space workloads can persist and resume growing corpora instead
+of recomputing ``N·(N-1)/2`` pairs per run.
 """
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 DDL = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -57,3 +68,22 @@ CREATE INDEX IF NOT EXISTS idx_distance_runs_series
 CREATE INDEX IF NOT EXISTS idx_experiment_results_exp
     ON experiment_results (experiment, metric);
 """
+
+#: version -> SQL applied when upgrading *to* that version. Scripts must be
+#: idempotent (IF NOT EXISTS) — new databases run them all after the base
+#: DDL, existing ones only the versions above their stored schema_version.
+MIGRATIONS: dict[int, str] = {
+    2: """
+CREATE TABLE IF NOT EXISTS corpora (
+    id          INTEGER PRIMARY KEY AUTOINCREMENT,
+    graph_id    INTEGER NOT NULL REFERENCES graphs(id) ON DELETE CASCADE,
+    name        TEXT NOT NULL,
+    n_states    INTEGER NOT NULL,
+    blob        BLOB NOT NULL,
+    created_at  TEXT NOT NULL DEFAULT (datetime('now')),
+    UNIQUE (graph_id, name)
+);
+
+CREATE INDEX IF NOT EXISTS idx_corpora_graph ON corpora (graph_id, name);
+""",
+}

@@ -180,3 +180,97 @@ class TestRoc:
         wins = sum((p > n) + 0.5 * (p == n) for p in pos for n in neg)
         manual = wins / (len(pos) * len(neg))
         assert roc_auc(scores, labels) == pytest.approx(manual)
+
+
+class TestStreamingDetector:
+    def _push_all(self, detector, distances, counts=None):
+        results = []
+        for t, d in enumerate(distances):
+            kwargs = {}
+            if counts is not None:
+                kwargs["active_count"] = counts[t]
+            scored = detector.push(d, **kwargs)
+            if scored is not None:
+                results.append(scored)
+        final = detector.finalize()
+        if final is not None:
+            results.append(final)
+        return results
+
+    def test_unscaled_fixed_threshold_matches_offline_exactly(self, rng):
+        from repro.analysis.anomaly import StreamingAnomalyDetector
+
+        distances = rng.random(12)
+        offline = anomaly_scores(distances)
+        detector = StreamingAnomalyDetector(threshold=0.3, scale=False)
+        results = self._push_all(detector, distances)
+        assert [s.index for s in results] == list(range(len(distances)))
+        assert np.array_equal(np.array([s.score for s in results]), offline)
+        offline_flagged = np.flatnonzero(offline > 0.3)
+        assert np.array_equal(detector.flagged(), offline_flagged)
+
+    def test_active_count_normalisation_matches_offline(self, rng):
+        from repro.analysis.anomaly import StreamingAnomalyDetector
+
+        distances = rng.random(9)
+        counts = rng.integers(1, 40, size=9)
+        offline = anomaly_scores(
+            normalize_distance_series(distances, counts, scale=False)
+        )
+        detector = StreamingAnomalyDetector(threshold=0.1, scale=False)
+        results = self._push_all(detector, distances, counts)
+        assert np.allclose([s.score for s in results], offline, atol=1e-15)
+
+    def test_running_max_scaling_is_causal(self):
+        from repro.analysis.anomaly import StreamingAnomalyDetector
+
+        # Maximum arrives first: the running max equals the global max for
+        # every scored transition, so scores match the offline pipeline.
+        distances = np.array([4.0, 1.0, 3.0, 2.0])
+        offline = anomaly_scores(normalize_distance_series(distances))
+        detector = StreamingAnomalyDetector(threshold=10.0)
+        results = self._push_all(detector, distances)
+        assert np.allclose([s.score for s in results], offline, atol=1e-15)
+
+    def test_adaptive_threshold_tracks_mean_and_std(self):
+        from repro.analysis.anomaly import StreamingAnomalyDetector
+
+        detector = StreamingAnomalyDetector(scale=False)
+        scores = [
+            s.score for s in self._push_all(detector, [1.0, 1.0, 1.0, 9.0, 1.0])
+        ]
+        scores = np.array(scores)
+        # The spike at index 3 dominates; the causal threshold at that
+        # point is mean + 2*std of everything seen so far.
+        expect = scores[:4].mean() + 2.0 * scores[:4].std()
+        assert detector.results[3].threshold == pytest.approx(expect)
+
+    def test_negative_distance_rejected(self):
+        from repro.analysis.anomaly import StreamingAnomalyDetector
+
+        with pytest.raises(ValidationError):
+            StreamingAnomalyDetector().push(-0.5)
+
+    def test_empty_stream_finalize(self):
+        from repro.analysis.anomaly import StreamingAnomalyDetector
+
+        detector = StreamingAnomalyDetector()
+        assert detector.finalize() is None
+        assert len(detector) == 0
+
+    def test_double_finalize_is_idempotent(self):
+        from repro.analysis.anomaly import StreamingAnomalyDetector
+
+        detector = StreamingAnomalyDetector(scale=False)
+        detector.push(1.0)
+        assert detector.finalize() is not None
+        assert detector.finalize() is None
+        assert len(detector.results) == 1
+
+    def test_single_distance_scores_zero(self):
+        from repro.analysis.anomaly import StreamingAnomalyDetector
+
+        detector = StreamingAnomalyDetector(scale=False, threshold=0.0)
+        assert detector.push(2.5) is None
+        final = detector.finalize()
+        assert final.score == 0.0 and not final.flagged

@@ -1,0 +1,155 @@
+"""Tests for the unified cache hierarchy (repro.snd.cache)."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.graph.generators import erdos_renyi_graph
+from repro.opinions.state import NetworkState
+from repro.snd import SND, CacheManager, GroundCostCache, TransitionCache
+from repro.snd.cache import DijkstraRowCache
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi_graph(40, 0.15, seed=7)
+
+
+@pytest.fixture(scope="module")
+def snd(graph):
+    return SND(graph, n_clusters=3, seed=0)
+
+
+def fill_ground(manager: CacheManager, snd, graph, n: int) -> None:
+    for k in range(n):
+        state = NetworkState.from_active_sets(40, positive=[k])
+        manager.ground.edge_costs(snd.ground, graph, state, 1)
+
+
+class TestCacheManager:
+    def test_members_and_adoption(self):
+        ground = GroundCostCache(8)
+        manager = CacheManager(ground=ground)
+        assert manager.ground is ground
+        assert manager.rows is not None and manager.transitions is not None
+        # Adopted caches report into the manager.
+        assert ground._manager is manager
+
+    def test_stats_surface(self, graph, snd):
+        manager = CacheManager()
+        state = NetworkState.from_active_sets(40, positive=[0])
+        manager.ground.edge_costs(snd.ground, graph, state, 1)
+        manager.ground.edge_costs(snd.ground, graph, state, 1)
+        stats = manager.stats()
+        assert set(stats) == {
+            "ground", "rows", "transitions", "total_nbytes", "memory_budget",
+        }
+        assert stats["ground"]["hits"] == 1
+        assert stats["ground"]["misses"] == stats["ground"]["builds"] == 1
+        assert stats["ground"]["size"] == 1
+        assert stats["ground"]["nbytes"] > 0
+        assert stats["total_nbytes"] >= stats["ground"]["nbytes"]
+        assert stats["memory_budget"] is None
+
+    def test_memory_budget_evicts(self, graph, snd):
+        manager = CacheManager(memory_budget=1)  # essentially nothing fits
+        fill_ground(manager, snd, graph, 4)
+        assert manager.nbytes <= max(
+            c.nbytes for c in manager._members()
+        )  # all but (at most) the newest entry evicted
+        assert manager.ground.stats()["evictions"] >= 3
+
+    def test_budget_targets_biggest_cache(self, graph, snd):
+        # Cost arrays dwarf transition floats: the budget must evict the
+        # ground cache, not starve the transition cache.
+        state_a = NetworkState.from_active_sets(40, positive=[0])
+        state_b = NetworkState.from_active_sets(40, positive=[1])
+        probe = CacheManager()
+        probe.ground.edge_costs(snd.ground, graph, state_a, 1)
+        one_array = probe.ground.nbytes
+        manager = CacheManager(memory_budget=2 * one_array)
+        fill_ground(manager, snd, graph, 6)
+        for k in range(16):
+            manager.transitions.put(
+                NetworkState.from_active_sets(40, positive=[k]), state_b, float(k)
+            )
+        assert manager.transitions.stats()["evictions"] == 0
+        assert manager.ground.stats()["evictions"] >= 4
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(ValidationError):
+            CacheManager(memory_budget=0)
+
+    def test_eviction_never_breaks_values(self, graph, snd):
+        # A starved hierarchy must still produce bit-identical results.
+        from repro.snd.batch import evaluate_series
+        from repro.opinions.state import StateSeries
+
+        states = [
+            NetworkState.from_active_sets(40, positive=list(range(k + 1)))
+            for k in range(5)
+        ]
+        series = StateSeries(states)
+        reference = evaluate_series(snd, series)
+        manager = CacheManager(memory_budget=1)
+        starved = evaluate_series(
+            snd, series, cache=manager.ground, row_cache=manager.rows
+        )
+        assert np.array_equal(reference, starved)
+
+    def test_ensure_ground_capacity_grows_only(self):
+        manager = CacheManager(ground_size=4)
+        manager.ensure_ground_capacity(16)
+        assert manager.ground.maxsize == 16
+        manager.ensure_ground_capacity(2)
+        assert manager.ground.maxsize == 16
+
+    def test_clear(self, graph, snd):
+        manager = CacheManager()
+        fill_ground(manager, snd, graph, 3)
+        manager.clear()
+        assert manager.nbytes == 0
+        assert len(manager.ground) == 0
+
+    def test_pickle_drops_entries_keeps_config(self, graph, snd):
+        manager = CacheManager(ground_size=7, memory_budget=12345)
+        fill_ground(manager, snd, graph, 3)
+        clone = pickle.loads(pickle.dumps(manager))
+        assert clone.memory_budget == 12345
+        assert clone.ground.maxsize == 7
+        assert len(clone.ground) == 0 and clone.nbytes == 0
+        # The clone is fully wired (budget enforcement still works).
+        assert clone.ground._manager is clone
+        fill_ground(clone, snd, graph, 2)
+        assert len(clone.ground) >= 1
+
+
+class TestCounters:
+    def test_eviction_counter(self):
+        cache = TransitionCache(maxsize=2)
+        states = [NetworkState.from_active_sets(10, positive=[k]) for k in range(5)]
+        for k in range(4):
+            cache.put(states[k], states[k + 1], float(k))
+        assert cache.evictions == 2
+        assert cache.stats()["evictions"] == 2
+
+    def test_contains_does_not_count(self):
+        cache = TransitionCache()
+        a = NetworkState.from_active_sets(10, positive=[0])
+        b = NetworkState.from_active_sets(10, positive=[1])
+        assert not cache.contains(a, b)
+        cache.put(a, b, 1.0)
+        assert cache.contains(a, b)
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_nbytes_tracks_entries(self):
+        cache = DijkstraRowCache(maxsize=4)
+        row = np.arange(10, dtype=np.float64)
+        cache._put(("k", False, 0), row)
+        assert cache.nbytes == row.nbytes
+        cache._put(("k", False, 0), row)  # overwrite: no double count
+        assert cache.nbytes == row.nbytes
+        cache.evict_oldest()
+        assert cache.nbytes == 0

@@ -1,0 +1,392 @@
+"""Tests for the persistent engine, the incremental corpus, and streaming."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.graph.generators import erdos_renyi_graph
+from repro.opinions.state import NetworkState, StateSeries
+from repro.snd import SND, Corpus, SNDEngine, TransitionCache
+from repro.snd.cache import CacheManager, GroundCostCache
+from repro.snd.engine import resolve_jobs
+
+
+def random_series(n: int, length: int, rng: np.random.Generator) -> StateSeries:
+    values = np.zeros(n, dtype=np.int8)
+    states = []
+    for _ in range(length):
+        values = values.copy()
+        idx = rng.integers(0, n, size=max(2, n // 10))
+        values[idx] = rng.integers(-1, 2, size=idx.size)
+        states.append(NetworkState(values))
+    return StateSeries(states)
+
+
+def distinct_states(n: int, count: int) -> list[NetworkState]:
+    """Pairwise-distinct states (state t has users ``0..t`` positive) so
+    transition-cache counters count pairs, not content duplicates."""
+    states = []
+    for t in range(count):
+        values = np.zeros(n, dtype=np.int8)
+        values[: t + 1] = 1
+        states.append(NetworkState(values))
+    return states
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi_graph(40, 0.15, seed=7)
+
+
+@pytest.fixture(scope="module")
+def snd(graph):
+    return SND(graph, n_clusters=3, seed=0)
+
+
+def fresh_snd(graph):
+    return SND(graph, n_clusters=3, seed=0)
+
+
+class TestResolveJobs:
+    def test_serial_spellings(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(0) == 1
+        assert resolve_jobs(1) == 1
+
+    def test_explicit(self):
+        assert resolve_jobs(3) == 3
+
+    def test_auto_bounded(self, monkeypatch):
+        import repro.snd.engine as engine_mod
+
+        monkeypatch.setattr(engine_mod.os, "cpu_count", lambda: 1)
+        assert resolve_jobs("auto") == 1  # never a pool on 1 CPU
+        monkeypatch.setattr(engine_mod.os, "cpu_count", lambda: 16)
+        assert resolve_jobs("auto") == 4
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            resolve_jobs(-2)
+
+
+class TestEngineSeries:
+    @pytest.mark.parametrize("executor", ["process", "thread"])
+    def test_matches_naive_loop(self, graph, snd, rng, executor):
+        series = random_series(40, 7, rng)
+        naive = np.array([snd.distance(a, b) for a, b in series.transitions()])
+        with SNDEngine(fresh_snd(graph), jobs=2, executor=executor) as engine:
+            assert np.array_equal(engine.evaluate_series(series), naive)
+
+    def test_serial_engine(self, graph, snd, rng):
+        series = random_series(40, 6, rng)
+        naive = np.array([snd.distance(a, b) for a, b in series.transitions()])
+        with SNDEngine(fresh_snd(graph), jobs=None) as engine:
+            assert np.array_equal(engine.evaluate_series(series), naive)
+
+    @pytest.mark.parametrize("executor", ["process", "thread"])
+    def test_pool_persists_across_calls(self, graph, rng, executor):
+        series = random_series(40, 6, rng)
+        with SNDEngine(fresh_snd(graph), jobs=2, executor=executor) as engine:
+            first = engine.evaluate_series(series)
+            second = engine.evaluate_series(series)
+            third = engine.pairwise_matrix(list(series)[:4])
+            assert engine.pool_starts == 1  # one launch serves every call
+            assert np.array_equal(first, second)
+            assert third.shape == (4, 4)
+
+    def test_pool_restarts_when_outgrown(self, graph, rng):
+        small = random_series(40, 4, rng)
+        with SNDEngine(fresh_snd(graph), jobs=2) as engine:
+            engine.evaluate_series(small)
+            starts = engine.pool_starts
+            capacity = engine.stats()["capacity"]
+            big = random_series(40, capacity + 5, rng)
+            reference = fresh_snd(graph).evaluate_series(big)
+            assert np.array_equal(engine.evaluate_series(big), reference)
+            assert engine.pool_starts == starts + 1
+
+    def test_window_and_transitions(self, graph, rng):
+        series = random_series(40, 7, rng)
+        scratch = fresh_snd(graph).evaluate_series(series)
+        with SNDEngine(fresh_snd(graph), jobs=None) as engine:
+            windowed = engine.evaluate_series(series, window=3)
+            assert np.array_equal(scratch, windowed)
+            assert engine.caches.transitions.fresh == len(series) - 1
+            # Re-sweep answers everything from the engine's hierarchy.
+            again = engine.evaluate_series(
+                series, transitions=engine.caches.transitions
+            )
+            assert np.array_equal(scratch, again)
+            assert engine.caches.transitions.fresh == len(series) - 1
+
+    def test_engine_shares_snd_cache_hierarchy(self, graph, rng):
+        snd = fresh_snd(graph)
+        series = random_series(40, 5, rng)
+        with SNDEngine(snd, jobs=None) as engine:
+            assert engine.caches is snd.caches
+            engine.evaluate_series(series)
+            assert snd.ground_cache.builds > 0
+
+    def test_closed_engine_rejects_pool_use(self, graph, rng):
+        engine = SNDEngine(fresh_snd(graph), jobs=2)
+        series = random_series(40, 5, rng)
+        engine.evaluate_series(series)
+        engine.close()
+        with pytest.raises(ValidationError):
+            engine.evaluate_series(series)
+
+    def test_stats_surface(self, graph, rng):
+        with SNDEngine(fresh_snd(graph), jobs=2) as engine:
+            engine.evaluate_series(random_series(40, 5, rng))
+            stats = engine.stats()
+            assert stats["jobs"] == 2 and stats["executor"] == "process"
+            assert stats["pool_starts"] == 1 and stats["pool_alive"]
+            assert "ground" in stats["caches"]
+
+    def test_bad_executor_rejected(self, graph):
+        with pytest.raises(ValidationError):
+            SNDEngine(fresh_snd(graph), executor="gpu")
+
+
+class TestEnginePairwise:
+    @pytest.mark.parametrize("executor", ["process", "thread"])
+    def test_matches_batch_wrapper(self, graph, snd, rng, executor):
+        states = list(random_series(40, 5, rng))
+        reference = snd.pairwise_matrix(states)
+        with SNDEngine(fresh_snd(graph), jobs=2, executor=executor) as engine:
+            assert np.array_equal(engine.pairwise_matrix(states), reference)
+
+    def test_transitions_skip_solved_pairs(self, graph):
+        states = distinct_states(40, 5)
+        with SNDEngine(fresh_snd(graph), jobs=None) as engine:
+            cache = TransitionCache()
+            first = engine.pairwise_matrix(states, transitions=cache)
+            assert cache.fresh == 10  # 5*4/2 pairs
+            second = engine.pairwise_matrix(states, transitions=cache)
+            assert cache.fresh == 10  # nothing re-solved
+            assert np.array_equal(first, second)
+
+    def test_trivial_sizes(self, graph):
+        with SNDEngine(fresh_snd(graph), jobs=2) as engine:
+            assert engine.pairwise_matrix([]).shape == (0, 0)
+            one = engine.pairwise_matrix([NetworkState.neutral(40)])
+            assert one.shape == (1, 1) and one[0, 0] == 0.0
+
+
+class TestCorpusIncremental:
+    """The acceptance contract: ``Corpus.extend`` is bit-identical to a
+    from-scratch matrix while solving only the new transitions."""
+
+    @pytest.mark.parametrize("executor", ["process", "thread"])
+    @pytest.mark.parametrize("k", [1, 3])
+    def test_extend_bit_identical_and_minimal(self, graph, executor, k):
+        states = distinct_states(40, 6 + k)
+        scratch = fresh_snd(graph).pairwise_matrix(states)
+        with SNDEngine(fresh_snd(graph), jobs=2, executor=executor) as engine:
+            corpus = Corpus(engine, states[:6])
+            before = engine.caches.transitions.fresh
+            extended = corpus.extend(states[6:])
+            solved = engine.caches.transitions.fresh - before
+            assert solved == k * 6 + k * (k - 1) // 2  # only the new pairs
+            assert np.array_equal(extended, scratch)  # bit-identical
+
+    @pytest.mark.parametrize("k", [1, 3])
+    def test_extend_under_cache_pressure(self, graph, k):
+        # A one-entry ground cache forces constant rebuilds; the matrix
+        # and the solved-pair counter must both survive.
+        states = distinct_states(40, 5 + k)
+        scratch = fresh_snd(graph).pairwise_matrix(states)
+        snd = fresh_snd(graph)
+        caches = CacheManager(ground=GroundCostCache(maxsize=1))
+        with SNDEngine(snd, jobs=None, caches=caches) as engine:
+            corpus = Corpus(engine, states[:5])
+            before = engine.caches.transitions.fresh
+            extended = corpus.extend(states[5:])
+            assert engine.caches.transitions.fresh - before == k * 5 + k * (k - 1) // 2
+            assert np.array_equal(extended, scratch)
+
+    def test_extend_grows_undersized_transition_cache(self, graph):
+        # With a cache smaller than the pair count, LRU eviction during
+        # seeding used to chase the probe order and re-solve every old
+        # pair; extend() must grow the cache to fit all pairs first.
+        states = distinct_states(40, 8)
+        caches = CacheManager(transition_size=2)
+        with SNDEngine(fresh_snd(graph), jobs=None, caches=caches) as engine:
+            corpus = Corpus(engine, states[:6])
+            before = engine.caches.transitions.fresh
+            corpus.extend(states[6:])
+            assert engine.caches.transitions.fresh - before == 2 * 6 + 1
+            assert engine.caches.transitions.maxsize >= 8 * 7 // 2
+
+    def test_repeated_appends(self, graph):
+        states = distinct_states(40, 7)
+        scratch = fresh_snd(graph).pairwise_matrix(states)
+        with SNDEngine(fresh_snd(graph), jobs=None) as engine:
+            corpus = Corpus(engine, states[:4])
+            for state in states[4:]:
+                n_before = len(corpus)
+                before = engine.caches.transitions.fresh
+                corpus.append(state)
+                assert engine.caches.transitions.fresh - before == n_before
+            assert np.array_equal(corpus.matrix, scratch)
+
+    def test_empty_extend_is_noop(self, graph):
+        states = distinct_states(40, 3)
+        with SNDEngine(fresh_snd(graph), jobs=None) as engine:
+            corpus = Corpus(engine, states)
+            before = engine.caches.transitions.fresh
+            matrix = corpus.extend([])
+            assert engine.caches.transitions.fresh == before
+            assert matrix.shape == (3, 3)
+
+    def test_accepts_bare_snd(self, graph):
+        corpus = Corpus(fresh_snd(graph), distinct_states(40, 3))
+        assert isinstance(corpus.engine, SNDEngine)
+        assert corpus.matrix.shape == (3, 3)
+        corpus.engine.close()
+
+    def test_query_nearest(self, graph):
+        states = distinct_states(40, 5)
+        with SNDEngine(fresh_snd(graph), jobs=None) as engine:
+            corpus = Corpus(engine, states)
+            hits = corpus.query(states[2], k=2)
+            assert hits[0] == (2, 0.0)  # itself, at distance zero
+            assert len(hits) == 2
+            with pytest.raises(ValidationError):
+                corpus.query(states[0], k=0)
+
+    def test_query_empty_corpus(self, graph):
+        with SNDEngine(fresh_snd(graph), jobs=None) as engine:
+            with pytest.raises(ValidationError):
+                Corpus(engine).query(NetworkState.neutral(40))
+
+    def test_save_load_roundtrip(self, graph):
+        from repro.store import ExperimentStore
+
+        states = distinct_states(40, 4)
+        with SNDEngine(fresh_snd(graph), jobs=None) as engine:
+            corpus = Corpus(engine, states)
+            with ExperimentStore(":memory:") as store:
+                store.save_graph("g", graph)
+                corpus.save(store, "g", "c")
+                loaded = Corpus.load(store, engine, "g", "c")
+            assert np.array_equal(loaded.matrix, corpus.matrix)
+            assert all(a == b for a, b in zip(loaded.states, corpus.states))
+            # Extension of the rehydrated corpus stays minimal: the stored
+            # matrix reseeds the transition cache.
+            fresh_engine_cache = engine.caches.transitions.fresh
+            loaded.extend(distinct_states(40, 5)[4:])
+            assert engine.caches.transitions.fresh - fresh_engine_cache == 4
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("executor", ["process", "thread"])
+    @pytest.mark.parametrize("k", [1, 3])
+    def test_extend_matrix_property(self, graph, rng, executor, k):
+        """Randomised extension property across executors and pressure."""
+        series = random_series(40, 6 + k, rng)
+        states = list(series)
+        scratch = fresh_snd(graph).pairwise_matrix(states)
+        caches = CacheManager(ground=GroundCostCache(maxsize=2))
+        with SNDEngine(fresh_snd(graph), jobs=2, executor=executor, caches=caches) as engine:
+            corpus = Corpus(engine, states[:6])
+            extended = corpus.extend(states[6:])
+            assert np.array_equal(extended, scratch)
+
+
+class TestStreaming:
+    def test_stream_distances_match_series(self, graph, rng):
+        series = random_series(40, 7, rng)
+        reference = fresh_snd(graph).evaluate_series(series)
+        with SNDEngine(fresh_snd(graph), jobs=None) as engine:
+            updates = list(engine.stream(series, window=4))
+        distances = [u.distance for u in updates if u.distance is not None]
+        assert np.array_equal(np.array(distances), reference)
+        # T state updates plus one final flush.
+        assert len(updates) == len(series) + 1
+
+    def test_stream_reuses_transition_cache(self, graph):
+        states = distinct_states(40, 6)
+        with SNDEngine(fresh_snd(graph), jobs=None) as engine:
+            list(engine.stream(states))
+            assert engine.caches.transitions.fresh == 5
+            list(engine.stream(states))  # replay: all from cache
+            assert engine.caches.transitions.fresh == 5
+
+    def test_stream_window_bounds_recent_series(self, graph, rng):
+        series = random_series(40, 8, rng)
+        with SNDEngine(fresh_snd(graph), jobs=None) as engine:
+            updates = list(engine.stream(series, window=3))
+        for update in updates:
+            assert update.window_distances.size <= 2  # window-1 distances
+
+    def test_scores_lag_one_state(self, graph, rng):
+        series = random_series(40, 6, rng)
+        with SNDEngine(fresh_snd(graph), jobs=None) as engine:
+            updates = list(engine.stream(series))
+        # First two states carry no score; state t >= 2 scores t-2.
+        assert updates[0].scored is None and updates[1].scored is None
+        for t in range(2, len(series)):
+            assert updates[t].scored is not None
+            assert updates[t].scored.index == t - 2
+        assert updates[-1].scored is not None  # the flush update
+
+    def test_stream_scores_equal_offline_detector(self, graph, rng):
+        from repro.analysis.anomaly import (
+            StreamingAnomalyDetector,
+            anomaly_scores,
+            normalize_distance_series,
+        )
+
+        series = random_series(40, 8, rng)
+        reference = fresh_snd(graph).evaluate_series(series)
+        counts = series.activation_counts()
+        offline = anomaly_scores(
+            normalize_distance_series(reference, counts, scale=False)
+        )
+        detector = StreamingAnomalyDetector(threshold=0.5, scale=False)
+        with SNDEngine(fresh_snd(graph), jobs=None) as engine:
+            list(engine.stream(series, detector=detector))
+        assert np.allclose(detector.scores(), offline, atol=1e-12)
+
+    def test_empty_and_single_state_streams(self, graph):
+        with SNDEngine(fresh_snd(graph), jobs=None) as engine:
+            assert list(engine.stream([])) == []
+            only = list(engine.stream([NetworkState.neutral(40)]))
+            assert len(only) == 1
+            assert only[0].distance is None and only[0].scored is None
+
+    def test_bad_window_rejected(self, graph):
+        with SNDEngine(fresh_snd(graph), jobs=None) as engine:
+            with pytest.raises(ValidationError):
+                list(engine.stream([NetworkState.neutral(40)], window=1))
+
+
+class TestMetricSpaceConsumers:
+    def test_state_distance_matrix_accepts_corpus(self, graph):
+        from repro.analysis.metric_space import state_distance_matrix
+
+        states = distinct_states(40, 4)
+        with SNDEngine(fresh_snd(graph), jobs=None) as engine:
+            corpus = Corpus(engine, states)
+            solved = engine.caches.transitions.fresh
+            matrix = state_distance_matrix(states, corpus)
+            assert engine.caches.transitions.fresh == solved  # no recompute
+            assert np.array_equal(matrix, corpus.matrix)
+
+    def test_state_distance_matrix_accepts_engine(self, graph, snd, rng):
+        from repro.analysis.metric_space import state_distance_matrix
+
+        states = list(random_series(40, 4, rng))
+        reference = snd.pairwise_matrix(states)
+        with SNDEngine(fresh_snd(graph), jobs=None) as engine:
+            assert np.array_equal(state_distance_matrix(states, engine), reference)
+
+    def test_corpus_with_other_items_falls_back_to_engine(self, graph):
+        from repro.analysis.metric_space import state_distance_matrix
+
+        states = distinct_states(40, 5)
+        reference = fresh_snd(graph).pairwise_matrix(states[1:])
+        with SNDEngine(fresh_snd(graph), jobs=None) as engine:
+            corpus = Corpus(engine, states[:3])
+            matrix = state_distance_matrix(states[1:], corpus)
+            assert np.array_equal(matrix, reference)

@@ -100,3 +100,136 @@ class TestResults:
             store.save_graph("g", graph)
         with ExperimentStore(path) as store:
             assert store.load_graph("g") == graph
+
+
+class TestLabelRoundtrip:
+    def test_long_labels_not_truncated(self, store, graph):
+        # dtype="U64" used to clip labels beyond 64 characters on save.
+        long_label = "quarter-" + "x" * 100
+        store.save_graph("g", graph)
+        series = StateSeries(
+            [NetworkState.neutral(20), NetworkState.neutral(20)],
+            labels=[long_label, "short"],
+        )
+        store.save_series("g", "s", series)
+        back = store.load_series("g", "s")
+        assert back.labels == [long_label, "short"]
+        assert len(back.labels[0]) == len(long_label)
+
+    def test_series_id(self, store, graph):
+        store.save_graph("g", graph)
+        sid = store.save_series("g", "s", StateSeries([NetworkState.neutral(20)]))
+        assert store.series_id("g", "s") == sid
+        with pytest.raises(StoreError):
+            store.series_id("g", "nope")
+
+
+class TestCorpora:
+    def test_roundtrip(self, store, graph):
+        store.save_graph("g", graph)
+        series = StateSeries(
+            [NetworkState.neutral(20), NetworkState.from_active_sets(20, positive=[3])]
+        )
+        matrix = np.array([[0.0, 1.5], [1.5, 0.0]])
+        store.save_corpus("g", "c", series, matrix)
+        states, back = store.load_corpus("g", "c")
+        assert np.array_equal(back, matrix)
+        assert len(states) == 2 and states[1] == series[1]
+
+    def test_replace(self, store, graph):
+        store.save_graph("g", graph)
+        one = StateSeries([NetworkState.neutral(20)])
+        store.save_corpus("g", "c", one, np.zeros((1, 1)))
+        two = StateSeries([NetworkState.neutral(20), NetworkState.neutral(20)])
+        store.save_corpus("g", "c", two, np.zeros((2, 2)))
+        states, matrix = store.load_corpus("g", "c")
+        assert len(states) == 2 and matrix.shape == (2, 2)
+
+    def test_shape_mismatch_rejected(self, store, graph):
+        store.save_graph("g", graph)
+        series = StateSeries([NetworkState.neutral(20)])
+        with pytest.raises(StoreError):
+            store.save_corpus("g", "c", series, np.zeros((2, 2)))
+
+    def test_requires_graph(self, store):
+        series = StateSeries([NetworkState.neutral(5)])
+        with pytest.raises(StoreError):
+            store.save_corpus("missing", "c", series, np.zeros((1, 1)))
+
+    def test_missing_corpus(self, store, graph):
+        store.save_graph("g", graph)
+        with pytest.raises(StoreError):
+            store.load_corpus("g", "nope")
+
+    def test_list_corpora(self, store, graph):
+        store.save_graph("g", graph)
+        series = StateSeries([NetworkState.neutral(20)])
+        store.save_corpus("g", "b", series, np.zeros((1, 1)))
+        store.save_corpus("g", "a", series, np.zeros((1, 1)))
+        assert store.list_corpora() == [("g", "a", 1), ("g", "b", 1)]
+        assert store.list_corpora("other") == []
+
+
+class TestMigration:
+    V1_DDL = """
+    CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT NOT NULL);
+    CREATE TABLE graphs (
+        id INTEGER PRIMARY KEY AUTOINCREMENT, name TEXT NOT NULL UNIQUE,
+        n_nodes INTEGER NOT NULL, n_edges INTEGER NOT NULL, blob BLOB NOT NULL,
+        created_at TEXT NOT NULL DEFAULT (datetime('now'))
+    );
+    CREATE TABLE state_series (
+        id INTEGER PRIMARY KEY AUTOINCREMENT,
+        graph_id INTEGER NOT NULL REFERENCES graphs(id) ON DELETE CASCADE,
+        name TEXT NOT NULL, n_states INTEGER NOT NULL, blob BLOB NOT NULL,
+        created_at TEXT NOT NULL DEFAULT (datetime('now')),
+        UNIQUE (graph_id, name)
+    );
+    CREATE TABLE distance_runs (
+        id INTEGER PRIMARY KEY AUTOINCREMENT,
+        series_id INTEGER REFERENCES state_series(id) ON DELETE CASCADE,
+        measure TEXT NOT NULL, t_from INTEGER NOT NULL, t_to INTEGER NOT NULL,
+        value REAL NOT NULL, elapsed_s REAL,
+        created_at TEXT NOT NULL DEFAULT (datetime('now'))
+    );
+    CREATE TABLE experiment_results (
+        id INTEGER PRIMARY KEY AUTOINCREMENT, experiment TEXT NOT NULL,
+        metric TEXT NOT NULL, params TEXT NOT NULL DEFAULT '{}',
+        value REAL NOT NULL,
+        created_at TEXT NOT NULL DEFAULT (datetime('now'))
+    );
+    INSERT INTO meta (key, value) VALUES ('schema_version', '1');
+    """
+
+    def test_v1_database_upgrades_in_place(self, tmp_path, graph):
+        import sqlite3
+
+        path = tmp_path / "old.sqlite"
+        conn = sqlite3.connect(path)
+        conn.executescript(self.V1_DDL)
+        conn.commit()
+        conn.close()
+        with ExperimentStore(path) as store:
+            assert store.schema_version == 2
+            # The v2 table exists and is usable.
+            store.save_graph("g", graph)
+            series = StateSeries([NetworkState.neutral(20)])
+            store.save_corpus("g", "c", series, np.zeros((1, 1)))
+            assert store.list_corpora() == [("g", "c", 1)]
+
+    def test_newer_schema_rejected(self, tmp_path):
+        import sqlite3
+
+        path = tmp_path / "future.sqlite"
+        conn = sqlite3.connect(path)
+        conn.executescript(
+            "CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT NOT NULL);"
+            "INSERT INTO meta (key, value) VALUES ('schema_version', '99');"
+        )
+        conn.commit()
+        conn.close()
+        with pytest.raises(StoreError):
+            ExperimentStore(path)
+
+    def test_fresh_database_lands_on_current_version(self, store):
+        assert store.schema_version == 2

@@ -152,3 +152,179 @@ class TestCli:
         )
         assert result.returncode == 0
         assert repro.__version__ in result.stdout
+
+
+class TestEngineCli:
+    @pytest.fixture
+    def seeded_store(self, tmp_path):
+        store_path = str(tmp_path / "exp.sqlite")
+        rc = main(
+            [
+                "generate",
+                "--nodes", "60",
+                "--states", "5",
+                "--seeds", "8",
+                "--store", store_path,
+                "--name", "t",
+            ]
+        )
+        assert rc == 0
+        return store_path
+
+    def test_distance_save_persists_rows(self, seeded_store):
+        rc = main(
+            [
+                "distance",
+                "--store", seeded_store,
+                "--name", "t",
+                "--measure", "snd",
+                "--clusters", "2",
+                "--save",
+                "--cache-stats",
+            ]
+        )
+        assert rc == 0
+        from repro.store import ExperimentStore
+
+        with ExperimentStore(seeded_store) as store:
+            sid = store.series_id("t", "series")
+            rows = store._conn.execute(
+                "SELECT COUNT(*) FROM distance_runs WHERE series_id = ?", (sid,)
+            ).fetchone()
+        assert rows[0] == 4  # 5 states -> 4 transitions
+
+    def test_distance_matrix_save_creates_corpus(self, seeded_store):
+        rc = main(
+            [
+                "distance-matrix",
+                "--store", seeded_store,
+                "--name", "t",
+                "--measure", "snd",
+                "--clusters", "2",
+                "--save", "mat",
+            ]
+        )
+        assert rc == 0
+        from repro.store import ExperimentStore
+
+        with ExperimentStore(seeded_store) as store:
+            states, matrix = store.load_corpus("t", "mat")
+        assert matrix.shape == (5, 5)
+        assert len(states) == 5
+
+    def test_watch_command(self, seeded_store, capsys):
+        rc = main(
+            [
+                "watch",
+                "--store", seeded_store,
+                "--name", "t",
+                "--clusters", "2",
+                "--window", "3",
+                "--cache-stats",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "transitions solved" in out
+        assert "cache stats" in out
+
+    def test_corpus_lifecycle(self, seeded_store, capsys):
+        rc = main(
+            [
+                "corpus", "build",
+                "--store", seeded_store,
+                "--name", "t",
+                "--corpus", "c",
+                "--clusters", "2",
+                "--first", "3",
+            ]
+        )
+        assert rc == 0
+        rc = main(
+            [
+                "corpus", "extend",
+                "--store", seeded_store,
+                "--name", "t",
+                "--corpus", "c",
+                "--clusters", "2",
+                "--take", "2",
+            ]
+        )
+        assert rc == 0
+        assert "solved" in capsys.readouterr().out
+        rc = main(
+            [
+                "corpus", "query",
+                "--store", seeded_store,
+                "--name", "t",
+                "--corpus", "c",
+                "--clusters", "2",
+                "--state", "0",
+                "-k", "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "nearest corpus members" in out
+
+    def test_corpus_extend_exhausted_series(self, seeded_store, capsys):
+        main(
+            [
+                "corpus", "build",
+                "--store", seeded_store,
+                "--name", "t",
+                "--corpus", "c",
+                "--clusters", "2",
+            ]
+        )
+        rc = main(
+            [
+                "corpus", "extend",
+                "--store", seeded_store,
+                "--name", "t",
+                "--corpus", "c",
+                "--clusters", "2",
+            ]
+        )
+        assert rc == 0
+        assert "nothing to extend" in capsys.readouterr().out
+
+    def test_corpus_query_bad_state(self, seeded_store):
+        main(
+            [
+                "corpus", "build",
+                "--store", seeded_store,
+                "--name", "t",
+                "--corpus", "c",
+                "--clusters", "2",
+            ]
+        )
+        rc = main(
+            [
+                "corpus", "query",
+                "--store", seeded_store,
+                "--name", "t",
+                "--corpus", "c",
+                "--clusters", "2",
+                "--state", "99",
+            ]
+        )
+        assert rc == 1
+
+    def test_corpus_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["corpus"])
+
+    def test_watch_jobs_zero_is_serial(self, seeded_store, capsys):
+        # --jobs 0 documents "serial"; it must not be coerced to auto.
+        rc = main(
+            [
+                "watch",
+                "--store", seeded_store,
+                "--name", "t",
+                "--clusters", "2",
+                "--jobs", "0",
+            ]
+        )
+        assert rc == 0
+        assert "transitions solved" in capsys.readouterr().out
