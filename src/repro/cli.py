@@ -18,6 +18,10 @@ Subcommands
     Build, incrementally extend, and query a persisted state corpus with
     its pairwise SND matrix (§9 metric-space workloads): ``corpus build``,
     ``corpus extend`` (solves only the new pairs), ``corpus query``.
+``serve``
+    Run the long-lived HTTP distance service
+    (:mod:`repro.serve.http`) over the store — the same
+    :class:`~repro.serve.service.SNDService` the commands above use.
 ``experiment``
     Run one of the paper's experiments end-to-end and print its table.
 
@@ -29,6 +33,12 @@ counters (:meth:`repro.snd.cache.CacheManager.stats`).
 ``--measure`` choices are derived from the live distance registry
 (:func:`repro.distances.default_registry`), so newly registered measures
 are reachable without touching this module.
+
+All distance subcommands are thin clients of
+:class:`~repro.serve.service.SNDService` — the exact code path the HTTP
+server runs — so every evaluation routes through the engine's
+:class:`~repro.snd.scheduler.PairScheduler` while the printed output
+stays bit-identical to the historical per-subcommand plumbing.
 """
 
 from __future__ import annotations
@@ -220,6 +230,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cquery.add_argument("-k", type=int, default=3, help="neighbours to report")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived HTTP distance service over the store",
+    )
+    serve.add_argument("--store", default="experiments.sqlite")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="TCP port to bind (0 picks a free port and prints it)",
+    )
+    serve.add_argument("--clusters", type=int, default=None)
+    serve.add_argument("--solver", default="auto", choices=SOLVER_CHOICES)
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="engine worker count per shard (default: auto)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        help="scheduler backpressure bound: max unique pairs queued or "
+        "solving at once (default: %(default)s -> library default)",
+    )
+
     exp = sub.add_parser("experiment", help="run a paper experiment")
     exp.add_argument(
         "name",
@@ -257,19 +295,18 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_context(args: argparse.Namespace):
-    from repro.distances import DistanceContext
-    from repro.store import ExperimentStore
+def _make_service(args: argparse.Namespace):
+    """The one-shot :class:`~repro.serve.service.SNDService` a CLI
+    invocation runs against — the same class `repro-snd serve` keeps
+    alive, so both fronts share one scheduler-routed code path."""
+    from repro.serve import SNDService
 
-    with ExperimentStore(args.store) as store:
-        graph = store.load_graph(args.name)
-        series = store.load_series(args.name, "series")
-    context = DistanceContext(graph=graph)
-    if args.measure == "snd":
-        context.ensure_snd(
-            n_clusters=args.clusters, seed=0, solver=getattr(args, "solver", "auto")
-        )
-    return series, context
+    return SNDService(
+        args.store,
+        clusters=getattr(args, "clusters", None),
+        solver=getattr(args, "solver", "auto"),
+        jobs="auto" if getattr(args, "jobs", None) is None else args.jobs,
+    )
 
 
 def _print_cache_stats(stats: dict | None) -> None:
@@ -291,12 +328,11 @@ def _print_cache_stats(stats: dict | None) -> None:
 
 
 def _cmd_distance(args: argparse.Namespace) -> int:
-    from repro.distances import default_registry
-
-    series, context = _load_context(args)
-    values = default_registry().series(
-        args.measure, series, context, jobs=args.jobs, window=args.window
+    service = _make_service(args)
+    values = service.series_distances(
+        args.name, measure=args.measure, jobs=args.jobs, window=args.window
     )
+    context = service.shard(args.name).context
     print(f"# {args.measure} distances between adjacent states")
     for t, v in enumerate(values):
         print(f"{t:4d} -> {t + 1:4d}: {v:.6g}")
@@ -318,15 +354,14 @@ def _cmd_distance(args: argparse.Namespace) -> int:
             f"(series_id={sid}) in {args.store}"
         )
     if args.cache_stats:
-        _print_cache_stats(context.cache_stats())
+        _print_cache_stats(service.cache_stats(args.name))
     return 0
 
 
 def _cmd_distance_matrix(args: argparse.Namespace) -> int:
-    from repro.distances import default_registry
-
-    series, context = _load_context(args)
-    matrix = default_registry().pairwise(args.measure, series, context, jobs=args.jobs)
+    service = _make_service(args)
+    matrix = service.matrix(args.name, measure=args.measure, jobs=args.jobs)
+    series = service.shard(args.name).series
     if args.output:
         np.save(args.output, matrix)
         print(
@@ -347,28 +382,23 @@ def _cmd_distance_matrix(args: argparse.Namespace) -> int:
             f"({args.measure} matrix) to {args.store}"
         )
     if args.cache_stats:
-        _print_cache_stats(context.cache_stats())
+        _print_cache_stats(service.cache_stats(args.name))
     return 0
 
 
 def _cmd_watch(args: argparse.Namespace) -> int:
-    from repro.analysis.anomaly import StreamingAnomalyDetector
-    from repro.distances import DistanceContext
-    from repro.store import ExperimentStore
-
-    with ExperimentStore(args.store) as store:
-        graph = store.load_graph(args.name)
-        series = store.load_series(args.name, "series")
-    context = DistanceContext(graph=graph)
-    context.ensure_snd(n_clusters=args.clusters, seed=0, solver=args.solver)
-    detector = StreamingAnomalyDetector(threshold=args.threshold)
+    service = _make_service(args)
+    shard = service.shard(args.name)
     flagged: list[int] = []
     print(
-        f"# watching {len(series)} states (window={args.window}); "
+        f"# watching {len(shard.series)} states (window={args.window}); "
         "scores lag one state (the spike score needs the right neighbour)"
     )
-    with context.snd.create_engine(jobs="auto" if args.jobs is None else args.jobs) as engine:
-        for update in engine.stream(series, window=args.window, detector=detector):
+    with service:
+        updates = service.watch(
+            args.name, window=args.window, threshold=args.threshold, jobs=args.jobs
+        )
+        for update in updates:
             parts = [f"t={update.index:4d}"]
             if update.distance is not None:
                 parts.append(f"d={update.distance:.6g}")
@@ -382,6 +412,7 @@ def _cmd_watch(args: argparse.Namespace) -> int:
                     flagged.append(s.index)
                     parts.append("*** ANOMALY")
             print("  ".join(parts))
+        engine = shard.engine()
         transitions = engine.caches.transitions
         print(
             f"# {transitions.fresh} transitions solved, "
@@ -394,66 +425,71 @@ def _cmd_watch(args: argparse.Namespace) -> int:
 
 
 def _cmd_corpus(args: argparse.Namespace) -> int:
-    from repro.distances import DistanceContext
-    from repro.snd.engine import Corpus
-    from repro.store import ExperimentStore
-
-    with ExperimentStore(args.store) as store:
-        graph = store.load_graph(args.name)
-        series = store.load_series(args.name, "series")
-        context = DistanceContext(graph=graph)
-        context.ensure_snd(n_clusters=args.clusters, seed=0, solver=args.solver)
-        with context.snd.create_engine(jobs="auto" if args.jobs is None else args.jobs) as engine:
-            if args.corpus_command == "build":
-                states = list(series)
-                if args.first is not None:
-                    states = states[: args.first]
-                corpus = Corpus(engine, states)
-                corpus.save(store, args.name, args.corpus)
+    service = _make_service(args)
+    shard = service.shard(args.name)
+    with service:
+        if args.corpus_command == "build":
+            result = service.corpus_build(
+                args.name, args.corpus, first=args.first, jobs=args.jobs
+            )
+            print(
+                f"built corpus {args.corpus!r}: {result['n_states']} states, "
+                f"{result['pairs_solved']} pairs solved, "
+                f"saved to {args.store}"
+            )
+        elif args.corpus_command == "extend":
+            result = service.corpus_extend(
+                args.name, args.corpus, take=args.take, jobs=args.jobs
+            )
+            if result["added"] == 0:
                 print(
-                    f"built corpus {args.corpus!r}: {len(corpus)} states, "
-                    f"{len(corpus) * (len(corpus) - 1) // 2} pairs solved, "
-                    f"saved to {args.store}"
+                    f"corpus {args.corpus!r} already covers all "
+                    f"{result['series_states']} series states; nothing to extend"
                 )
-            elif args.corpus_command == "extend":
-                corpus = Corpus.load(store, engine, args.name, args.corpus)
-                old_n = len(corpus)
-                new_states = list(series)[old_n : old_n + args.take]
-                if not new_states:
-                    print(
-                        f"corpus {args.corpus!r} already covers all "
-                        f"{len(series)} series states; nothing to extend"
-                    )
-                    return 0
-                before = engine.caches.transitions.fresh
-                corpus.extend(new_states)
-                solved = engine.caches.transitions.fresh - before
-                corpus.save(store, args.name, args.corpus)
-                k = len(new_states)
+                return 0
+            k, old_n = result["added"], result["old_n"]
+            print(
+                f"extended corpus {args.corpus!r} by {k} states "
+                f"({old_n} -> {result['n_states']}): solved {result['solved']} "
+                f"new pairs (k*N + k*(k-1)/2 = {k * old_n + k * (k - 1) // 2}), "
+                f"reused {old_n * (old_n - 1) // 2} existing"
+            )
+        else:  # query
+            if not 0 <= args.state < len(shard.series):
                 print(
-                    f"extended corpus {args.corpus!r} by {k} states "
-                    f"({old_n} -> {len(corpus)}): solved {solved} new pairs "
-                    f"(k*N + k*(k-1)/2 = {k * old_n + k * (k - 1) // 2}), "
-                    f"reused {old_n * (old_n - 1) // 2} existing"
+                    f"error: --state must be in [0, {len(shard.series) - 1}]",
+                    file=sys.stderr,
                 )
-            else:  # query
-                corpus = Corpus.load(store, engine, args.name, args.corpus)
-                if not 0 <= args.state < len(series):
-                    print(
-                        f"error: --state must be in [0, {len(series) - 1}]",
-                        file=sys.stderr,
-                    )
-                    return 1
-                neighbours = corpus.query(series[args.state], k=args.k)
-                print(
-                    f"# {len(neighbours)} nearest corpus members to series "
-                    f"state {args.state}"
-                )
-                for rank, (idx, dist) in enumerate(neighbours):
-                    print(f"{rank + 1:3d}. corpus[{idx}]  d={dist:.6g}")
-            if args.cache_stats:
-                _print_cache_stats(engine.caches.stats())
+                return 1
+            neighbours = service.corpus_query(
+                args.name, args.corpus, args.state, k=args.k, jobs=args.jobs
+            )
+            print(
+                f"# {len(neighbours)} nearest corpus members to series "
+                f"state {args.state}"
+            )
+            for rank, (idx, dist) in enumerate(neighbours):
+                print(f"{rank + 1:3d}. corpus[{idx}]  d={dist:.6g}")
+        if args.cache_stats:
+            _print_cache_stats(shard.engine().caches.stats())
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import SNDService
+    from repro.serve.http import serve_forever
+    from repro.snd.scheduler import DEFAULT_MAX_PENDING
+
+    service = SNDService(
+        args.store,
+        clusters=args.clusters,
+        solver=args.solver,
+        jobs="auto" if args.jobs is None else args.jobs,
+        max_pending=DEFAULT_MAX_PENDING
+        if args.max_pending is None
+        else args.max_pending,
+    )
+    return serve_forever(service, host=args.host, port=args.port)
 
 
 _EXPERIMENT_MODULES = {
@@ -511,6 +547,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_watch(args)
     if args.command == "corpus":
         return _cmd_corpus(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     raise AssertionError(f"unhandled command {args.command!r}")

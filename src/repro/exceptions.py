@@ -22,6 +22,7 @@ __all__ = [
     "QuantizationError",
     "ClusteringError",
     "PredictionError",
+    "SchedulerSaturatedError",
     "StoreError",
     "ValidationError",
 ]
@@ -92,3 +93,9 @@ class PredictionError(ReproError):
 
 class StoreError(ReproError):
     """The SQLite experiment store failed to read or write."""
+
+
+class SchedulerSaturatedError(ReproError):
+    """The pair scheduler's bounded queue is full and the request could not
+    be admitted (non-blocking admission, or the admission timeout expired).
+    The serve tier maps this to HTTP 503."""

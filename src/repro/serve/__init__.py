@@ -1,0 +1,26 @@
+"""The serving tier: the SND stack as a long-lived distance service.
+
+The paper positions SND as a distance for *monitoring* polar opinion
+dynamics — anomaly detection and prediction over live network states
+(§6.2) and metric-space queries against growing corpora (§9) — which is
+a serving workload, not a batch script.  This package exposes the
+scheduler-backed engine stack behind two fronts:
+
+:class:`~repro.serve.service.SNDService`
+    The in-process service: named graphs/series/corpora loaded from an
+    :class:`~repro.store.ExperimentStore`, one lazily created engine
+    shard per graph (sharing the shared-memory state matrix and the
+    unified cache hierarchy), every operation routed through the
+    engine's :class:`~repro.snd.scheduler.PairScheduler`.  The CLI
+    subcommands and the HTTP server are both thin clients of this class.
+
+:mod:`repro.serve.http`
+    A stdlib-asyncio HTTP/1.1 server (``repro-snd serve``) exposing
+    ``distance``, ``matrix``, ``corpus/query``, ``watch`` (streaming
+    anomaly updates over a chunked NDJSON response), and ``stats``
+    (cache + scheduler counters).  Backpressure surfaces as HTTP 503.
+"""
+
+from repro.serve.service import EngineShard, SNDService
+
+__all__ = ["SNDService", "EngineShard"]

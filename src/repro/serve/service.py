@@ -1,0 +1,397 @@
+"""The in-process distance service: named corpora over engine shards.
+
+:class:`SNDService` is the single implementation of every serving
+operation; the ``repro-snd`` CLI subcommands and the HTTP server in
+:mod:`repro.serve.http` are both thin clients of it, so a one-shot CLI
+invocation and a long-lived server request run the exact same code path
+(and therefore produce bit-identical values — the scheduler and engine
+underneath carry the repo-wide exactness contract).
+
+Layout
+------
+One :class:`EngineShard` per graph name.  A shard owns the graph, its
+saved series, a :class:`~repro.distances.DistanceContext` (so non-SND
+measures work too), a lazily created persistent
+:class:`~repro.snd.engine.SNDEngine` sharing the SND instance's unified
+cache hierarchy and shared-memory state matrix, and the corpora loaded
+for that graph.  All SND work funnels through the shard engine's
+:class:`~repro.snd.scheduler.PairScheduler`, which is what makes the
+service safe to hammer from many threads: duplicate concurrent requests
+for one pair coalesce into a single solve.
+
+The SQLite store is opened fresh per operation (connections are pinned
+to their creating thread), so service methods may run on any executor
+thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.opinions.state import NetworkState
+from repro.snd.scheduler import DEFAULT_MAX_PENDING
+
+__all__ = ["SNDService", "EngineShard"]
+
+
+class EngineShard:
+    """Everything the service holds for one named graph.
+
+    Created lazily by :meth:`SNDService.shard` on first use of the name;
+    the engine (and its worker pool / shared-memory matrix) is created
+    even more lazily, on the first SND operation.
+    """
+
+    def __init__(self, service: "SNDService", graph_name: str) -> None:
+        from repro.distances import DistanceContext
+
+        self.service = service
+        self.graph_name = graph_name
+        with service._open_store() as store:
+            self.graph = store.load_graph(graph_name)
+            self.series = store.load_series(graph_name, "series")
+        self.context = DistanceContext(graph=self.graph)
+        self.corpora: dict = {}
+        self._engine = None
+        self._lock = threading.Lock()
+
+    def ensure_snd(self):
+        """The shard's SND instance (created on first SND use, mirroring
+        the CLI's measure-gated construction so non-SND operations never
+        build one)."""
+        return self.context.ensure_snd(
+            n_clusters=self.service.clusters,
+            seed=self.service.seed,
+            solver=self.service.solver,
+        )
+
+    def engine(self, jobs=None):
+        """The shard's persistent engine (created once; *jobs* only
+        matters on the creating call — later calls reuse the engine and
+        can cap fan-out per call through the scheduler instead)."""
+        with self._lock:
+            if self._engine is None:
+                snd = self.ensure_snd()
+                self._engine = snd.create_engine(
+                    jobs=self.service.jobs if jobs is None else jobs,
+                    max_pending=self.service.max_pending,
+                )
+            return self._engine
+
+    def corpus(self, corpus_name: str, *, jobs=None, reload: bool = False):
+        """The named corpus, loaded from the store through the shard
+        engine (cached across calls unless *reload*)."""
+        from repro.snd.engine import Corpus
+
+        with self._lock:
+            cached = self.corpora.get(corpus_name)
+        if cached is not None and not reload:
+            return cached
+        engine = self.engine(jobs=SNDService._engine_jobs(jobs))
+        with self.service._open_store() as store:
+            corpus = Corpus.load(store, engine, self.graph_name, corpus_name)
+        with self._lock:
+            self.corpora[corpus_name] = corpus
+        return corpus
+
+    def stats(self) -> dict:
+        """Cache + scheduler + pool counters for this shard (engine stats
+        when the engine exists, bare cache stats before that)."""
+        with self._lock:
+            engine = self._engine
+        if engine is not None:
+            payload = engine.stats()
+        else:
+            payload = {"caches": self.context.cache_stats()}
+        payload = dict(payload)
+        payload["n_states"] = len(self.series)
+        payload["corpora"] = sorted(self.corpora)
+        return payload
+
+    def close(self) -> None:
+        with self._lock:
+            engine, self._engine = self._engine, None
+        if engine is not None:
+            engine.close()
+
+
+class SNDService:
+    """Named-corpus distance service over one experiment store.
+
+    Parameters
+    ----------
+    store_path:
+        Path of the :class:`~repro.store.ExperimentStore` holding the
+        graphs, series, and corpora to serve.
+    clusters / solver / seed:
+        SND construction knobs, applied uniformly to every shard
+        (mirrors the CLI's ``--clusters`` / ``--solver`` flags).
+    jobs:
+        Engine worker spelling for shards: ``"auto"`` (default — what
+        the CLI engine commands historically used), an explicit count,
+        or ``None`` for serial.  ``0`` is accepted as a legacy spelling
+        of serial at this boundary — the library-level
+        :func:`~repro.snd.scheduler.resolve_jobs` itself rejects it.
+    max_pending:
+        Scheduler backpressure bound, passed to every shard engine.
+    """
+
+    def __init__(
+        self,
+        store_path: str,
+        *,
+        clusters: int | None = None,
+        solver: str = "auto",
+        jobs="auto",
+        seed: int = 0,
+        max_pending: int = DEFAULT_MAX_PENDING,
+    ) -> None:
+        self.store_path = store_path
+        self.clusters = clusters
+        self.solver = solver
+        self.jobs = 1 if jobs == 0 else jobs
+        self.seed = seed
+        self.max_pending = max_pending
+        self._shards: dict[str, EngineShard] = {}
+        self._shards_lock = threading.Lock()
+
+    @staticmethod
+    def _normalise_jobs(jobs):
+        # Registry/batch spelling: None and 0 both mean serial there; the
+        # CLI documented --jobs 0 as "serial, not auto", so keep that
+        # working at the service boundary while the library rejects it.
+        return None if jobs == 0 else jobs
+
+    @staticmethod
+    def _engine_jobs(jobs):
+        # Engine-creation spelling: None means "service default", so the
+        # legacy 0-means-serial must become an explicit 1 here.
+        return 1 if jobs == 0 else jobs
+
+    def _open_store(self):
+        from repro.store import ExperimentStore
+
+        return ExperimentStore(self.store_path)
+
+    # ------------------------------------------------------------------ #
+    # Shards
+    # ------------------------------------------------------------------ #
+
+    def shard(self, graph_name: str) -> EngineShard:
+        """The shard for *graph_name*, loading it on first use."""
+        with self._shards_lock:
+            shard = self._shards.get(graph_name)
+            if shard is None:
+                shard = EngineShard(self, graph_name)
+                self._shards[graph_name] = shard
+            return shard
+
+    def names(self) -> list[str]:
+        """Graph names currently loaded as shards."""
+        with self._shards_lock:
+            return sorted(self._shards)
+
+    def list_corpora(self, graph_name: str | None = None) -> list[tuple]:
+        """``(graph, corpus, n_states)`` rows from the store."""
+        with self._open_store() as store:
+            return store.list_corpora(graph_name)
+
+    # ------------------------------------------------------------------ #
+    # Distances
+    # ------------------------------------------------------------------ #
+
+    def _prepare_measure(self, shard: EngineShard, measure: str) -> None:
+        # Mirror the CLI: the SND instance exists only when the SND
+        # measure is actually used (so --cache-stats can truthfully say
+        # "no SND instance was used" for baselines).
+        if measure == "snd":
+            shard.ensure_snd()
+
+    def series_distances(
+        self,
+        graph_name: str,
+        *,
+        measure: str = "snd",
+        jobs=None,
+        window: int | None = None,
+    ) -> np.ndarray:
+        """Adjacent-state distances over the shard's saved series."""
+        from repro.distances import default_registry
+
+        shard = self.shard(graph_name)
+        self._prepare_measure(shard, measure)
+        return default_registry().series(
+            measure, shard.series, shard.context,
+            jobs=self._normalise_jobs(jobs), window=window,
+        )
+
+    def matrix(self, graph_name: str, *, measure: str = "snd", jobs=None) -> np.ndarray:
+        """All-pairs distance matrix over the shard's saved series."""
+        from repro.distances import default_registry
+
+        shard = self.shard(graph_name)
+        self._prepare_measure(shard, measure)
+        return default_registry().pairwise(
+            measure, shard.series, shard.context, jobs=self._normalise_jobs(jobs)
+        )
+
+    def distance_pair(self, graph_name: str, i: int, j: int) -> float:
+        """SND between series states *i* and *j*, through the shard
+        engine's scheduler and transition cache — the endpoint behind
+        ``POST /distance``, and the one that coalesces duplicate bursts."""
+        shard = self.shard(graph_name)
+        series = shard.series
+        for idx in (i, j):
+            if not 0 <= idx < len(series):
+                raise ValidationError(
+                    f"state index {idx} out of range [0, {len(series) - 1}]"
+                )
+        engine = shard.engine()
+        return engine.scheduler.submit(
+            series[i], series[j], transitions=engine.caches.transitions
+        )
+
+    # ------------------------------------------------------------------ #
+    # Streaming
+    # ------------------------------------------------------------------ #
+
+    def watch(
+        self,
+        graph_name: str,
+        *,
+        window: int | None = 10,
+        threshold: float | None = None,
+        jobs=None,
+        states: Sequence[NetworkState] | None = None,
+    ) -> Iterator:
+        """Stream the shard's series (or *states*) through the engine,
+        yielding :class:`~repro.snd.engine.StreamUpdate` objects with
+        online anomaly scores — the ``watch`` CLI/HTTP surface."""
+        from repro.analysis.anomaly import StreamingAnomalyDetector
+
+        shard = self.shard(graph_name)
+        engine = shard.engine(jobs=self._engine_jobs(jobs))
+        detector = StreamingAnomalyDetector(threshold=threshold)
+        source = shard.series if states is None else states
+        return engine.stream(source, window=window, detector=detector)
+
+    # ------------------------------------------------------------------ #
+    # Corpora
+    # ------------------------------------------------------------------ #
+
+    def corpus_build(
+        self,
+        graph_name: str,
+        corpus_name: str,
+        *,
+        first: int | None = None,
+        jobs=None,
+    ) -> dict:
+        """Build a corpus from the saved series' states and persist it."""
+        from repro.snd.engine import Corpus
+
+        shard = self.shard(graph_name)
+        engine = shard.engine(jobs=self._engine_jobs(jobs))
+        states = list(shard.series)
+        if first is not None:
+            states = states[:first]
+        corpus = Corpus(engine, states)
+        with self._open_store() as store:
+            corpus.save(store, graph_name, corpus_name)
+        with shard._lock:
+            shard.corpora[corpus_name] = corpus
+        n = len(corpus)
+        return {"corpus": corpus_name, "n_states": n, "pairs_solved": n * (n - 1) // 2}
+
+    def corpus_extend(
+        self,
+        graph_name: str,
+        corpus_name: str,
+        *,
+        take: int = 1,
+        jobs=None,
+    ) -> dict:
+        """Append the next *take* series states to the corpus, solving
+        only the new pairs (counter-asserted via the transition cache)."""
+        shard = self.shard(graph_name)
+        corpus = shard.corpus(corpus_name, jobs=jobs)
+        old_n = len(corpus)
+        new_states = list(shard.series)[old_n : old_n + take]
+        if not new_states:
+            return {
+                "corpus": corpus_name,
+                "old_n": old_n,
+                "n_states": old_n,
+                "added": 0,
+                "solved": 0,
+                "series_states": len(shard.series),
+            }
+        engine = corpus.engine
+        before = engine.caches.transitions.fresh
+        corpus.extend(new_states)
+        solved = engine.caches.transitions.fresh - before
+        with self._open_store() as store:
+            corpus.save(store, graph_name, corpus_name)
+        return {
+            "corpus": corpus_name,
+            "old_n": old_n,
+            "n_states": len(corpus),
+            "added": len(new_states),
+            "solved": solved,
+            "series_states": len(shard.series),
+        }
+
+    def corpus_query(
+        self,
+        graph_name: str,
+        corpus_name: str,
+        state_index: int,
+        *,
+        k: int = 3,
+        jobs=None,
+    ) -> list[tuple[int, float]]:
+        """The *k* nearest corpus members to series state *state_index*."""
+        shard = self.shard(graph_name)
+        if not 0 <= state_index < len(shard.series):
+            raise ValidationError(
+                f"state index {state_index} out of range "
+                f"[0, {len(shard.series) - 1}]"
+            )
+        corpus = shard.corpus(corpus_name, jobs=jobs)
+        return corpus.query(shard.series[state_index], k=k)
+
+    # ------------------------------------------------------------------ #
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------ #
+
+    def cache_stats(self, graph_name: str) -> dict | None:
+        """The shard's unified-cache counters (the ``--cache-stats``
+        surface; ``None`` when no SND instance was used)."""
+        return self.shard(graph_name).context.cache_stats()
+
+    def stats(self) -> dict:
+        """Service-wide counters: one entry per loaded shard (cache
+        hierarchy + scheduler + pool state) — the ``stats`` endpoint."""
+        with self._shards_lock:
+            shards = dict(self._shards)
+        return {
+            "store": self.store_path,
+            "shards": {name: shard.stats() for name, shard in shards.items()},
+        }
+
+    def close(self) -> None:
+        """Close every shard engine (idempotent, like the engines)."""
+        with self._shards_lock:
+            shards, self._shards = list(self._shards.values()), {}
+        for shard in shards:
+            shard.close()
+
+    def __enter__(self) -> "SNDService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

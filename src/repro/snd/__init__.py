@@ -49,6 +49,7 @@ from repro.snd.cache import (
 from repro.snd.direct import snd_direct
 from repro.snd.engine import Corpus, SNDEngine, StreamUpdate
 from repro.snd.ground import GroundDistanceConfig, build_edge_costs, quantize_costs
+from repro.snd.scheduler import DEFAULT_MAX_PENDING, PairScheduler, resolve_jobs
 from repro.snd.snd import SND
 
 __all__ = [
@@ -56,6 +57,9 @@ __all__ = [
     "SNDEngine",
     "Corpus",
     "StreamUpdate",
+    "PairScheduler",
+    "DEFAULT_MAX_PENDING",
+    "resolve_jobs",
     "snd_direct",
     "BankAllocation",
     "allocate_banks",

@@ -36,11 +36,14 @@ Exactness contract: every path funnels through the same
 :func:`_pair_distance` per-pair pipeline as :meth:`SND.evaluate` (same
 cost arrays, same solver, same summation order), so results are
 bit-identical to the naive per-pair loop in every execution mode.
+
+Scheduling — cache probing, request coalescing, chunking, and pool
+dispatch — lives in :mod:`repro.snd.scheduler`; every engine entry point
+is a client of the engine's own :class:`~repro.snd.scheduler.PairScheduler`.
 """
 
 from __future__ import annotations
 
-import os
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -55,6 +58,13 @@ from repro.snd.cache import (
     CacheManager,
     GroundCostCache,
     TransitionCache,
+)
+from repro.snd.scheduler import (  # noqa: F401 - re-exported for compat
+    DEFAULT_MAX_PENDING,
+    PairScheduler,
+    _chunk_ranges,
+    _missing_runs,
+    resolve_jobs,
 )
 
 __all__ = ["SNDEngine", "Corpus", "StreamUpdate", "resolve_jobs"]
@@ -104,62 +114,6 @@ def _pair_distance(
         ),
     )
     return 0.5 * sum(terms)
-
-
-# --------------------------------------------------------------------- #
-# Work partitioning
-# --------------------------------------------------------------------- #
-
-
-def _chunk_ranges(n_items: int, n_chunks: int) -> list[tuple[int, int]]:
-    """Split ``0..n_items`` into at most *n_chunks* contiguous ranges.
-
-    Degenerate inputs are handled explicitly: ``n_items <= 0`` yields no
-    ranges, and ``n_chunks`` is clamped to ``1..n_items`` (asking for more
-    chunks than items never produces empty ranges).
-    """
-    if n_items <= 0:
-        return []
-    n_chunks = max(1, min(int(n_chunks), n_items))
-    bounds = np.linspace(0, n_items, n_chunks + 1).astype(int)
-    return [(int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:]) if b > a]
-
-
-def _missing_runs(missing: list[int], jobs: int) -> list[tuple[int, int]]:
-    """Contiguous ``(start, stop)`` runs over *missing* (sorted indices),
-    with long runs split so the task count roughly matches *jobs*."""
-    runs: list[tuple[int, int]] = []
-    i = 0
-    while i < len(missing):
-        j = i
-        while j + 1 < len(missing) and missing[j + 1] == missing[j] + 1:
-            j += 1
-        runs.append((missing[i], missing[j] + 1))
-        i = j + 1
-    target = max(1, -(-len(missing) // max(1, jobs)))  # ceil division
-    tasks: list[tuple[int, int]] = []
-    for start, stop in runs:
-        for a, b in _chunk_ranges(stop - start, -(-(stop - start) // target)):
-            tasks.append((start + a, start + b))
-    return tasks
-
-
-def resolve_jobs(jobs) -> int:
-    """Normalise a ``jobs`` request to a worker count.
-
-    ``"auto"`` sizes to the host: serial on single-CPU machines (where
-    pool startup can only lose) and ``min(4, cpu_count)`` otherwise.
-    ``None``/``0``/``1`` mean serial; negative counts are rejected.
-    """
-    if jobs == "auto":
-        cpus = os.cpu_count() or 1
-        return 1 if cpus < 2 else min(4, cpus)
-    if jobs is None:
-        return 1
-    jobs = int(jobs)
-    if jobs < 0:
-        raise ValidationError(f"jobs must be >= 0 or 'auto', got {jobs}")
-    return max(1, jobs)
 
 
 # --------------------------------------------------------------------- #
@@ -279,7 +233,7 @@ class SNDEngine:
         The :class:`~repro.snd.snd.SND` instance to evaluate through.
     jobs:
         ``"auto"`` (default — serial on single-CPU hosts, up to 4 workers
-        otherwise), an explicit worker count, or ``None``/``0``/``1`` for
+        otherwise), an explicit worker count (>= 1), or ``None`` for
         serial.
     executor:
         ``"process"`` (default; shared-memory state matrix) or
@@ -291,12 +245,19 @@ class SNDEngine:
     use_row_cache:
         Reuse per-source Dijkstra rows across terms (on by default;
         value-preserving).
+    max_pending:
+        Bound on unique pairs the engine's scheduler will hold admitted
+        at once (backpressure; see :class:`~repro.snd.scheduler.PairScheduler`).
 
     The pool and the shared-memory block are created lazily on the first
     parallel call and reused until :meth:`close` (the engine is a context
     manager). ``pool_starts`` counts pool launches, which makes
     persistence testable: two sweeps through one engine show one start,
     where the batch wrappers would show two.
+
+    Every evaluation entry point routes through ``self.scheduler``, so
+    concurrent callers sharing one engine get their duplicate pairs
+    coalesced into single solves (assertable via ``scheduler.stats()``).
     """
 
     def __init__(
@@ -307,6 +268,7 @@ class SNDEngine:
         executor: str = "process",
         caches: CacheManager | None = None,
         use_row_cache: bool = True,
+        max_pending: int = DEFAULT_MAX_PENDING,
     ) -> None:
         if executor not in ("process", "thread"):
             raise ValidationError(
@@ -324,28 +286,40 @@ class SNDEngine:
         self._capacity = 0
         self._n_users: int | None = None
         self._closed = False
+        self.scheduler = PairScheduler(self, max_pending=max_pending)
 
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
 
     def close(self) -> None:
-        """Shut down the worker pool and release the shared-memory block."""
+        """Shut down the worker pool and release the shared-memory block.
+
+        Idempotent: double ``close()``, context-manager exit after an
+        explicit ``close()``, and ``__del__`` after ``close()`` are all
+        no-ops that neither raise nor double-release the segment.
+        """
         self._shutdown_pool()
         self._closed = True
 
     def _shutdown_pool(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
+        # getattr guards: __del__ can run on a partially constructed
+        # instance (failed __init__) or during interpreter shutdown.
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
             self._pool = None
-        if self._shm is not None:
+            pool.shutdown(wait=True)
+        shm = getattr(self, "_shm", None)
+        if shm is not None:
+            # None out first so a re-entrant/second call can never see a
+            # half-released segment and unlink it twice.
+            self._shm = None
             self._matrix = None
             try:
-                self._shm.close()
-                self._shm.unlink()
-            except FileNotFoundError:  # pragma: no cover - already gone
+                shm.close()
+                shm.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover - gone
                 pass
-            self._shm = None
         self._capacity = 0
 
     def __enter__(self) -> "SNDEngine":
@@ -357,7 +331,9 @@ class SNDEngine:
     def __del__(self):  # pragma: no cover - GC safety net
         try:
             self._shutdown_pool()
-        except Exception:
+        except BaseException:
+            # Interpreter shutdown can leave modules half-torn-down;
+            # nothing useful can be reported from a finalizer.
             pass
 
     # ------------------------------------------------------------------ #
@@ -437,29 +413,33 @@ class SNDEngine:
         """SND between two states through the engine's cache hierarchy."""
         return self._pair(a, b)
 
-    def _evaluate_pairs(
+    def _solve_pairs_local(
+        self,
+        states: Sequence[NetworkState],
+        pairs: Sequence[tuple[int, int]],
+    ) -> list[float]:
+        """Serial in-process solve of index *pairs* over *states*."""
+        row_cache = self._row_cache()
+        return [
+            _pair_distance(
+                self.snd, states[i], states[j], self.caches.ground, row_cache
+            )
+            for i, j in pairs
+        ]
+
+    def _dispatch_chunks(
         self,
         states: Sequence[NetworkState],
         chunks: list[list[tuple[int, int]]],
     ) -> list[list[float]]:
-        """Distances for pre-chunked index pairs over *states*.
+        """Dispatch pre-chunked index pairs to the persistent pool.
 
-        Serial when the engine is serial or there is a single tiny chunk;
-        otherwise dispatched to the persistent pool. Chunks are expected
-        to be contiguous-ish so worker caches keep supplier states hot.
+        Callers (the scheduler) must serialize dispatches: the process
+        path rewrites *states* into the shared matrix rows, so two
+        concurrent dispatches would clobber each other's slots. Chunks
+        are expected to be contiguous-ish so worker caches keep supplier
+        states hot.
         """
-        n_pairs = sum(len(c) for c in chunks)
-        if self.jobs <= 1 or n_pairs <= 1:
-            row_cache = self._row_cache()
-            return [
-                [
-                    _pair_distance(
-                        self.snd, states[i], states[j], self.caches.ground, row_cache
-                    )
-                    for i, j in chunk
-                ]
-                for chunk in chunks
-            ]
         if self.executor == "thread":
             pool = self._ensure_thread_pool()
             row_cache = self._row_cache()
@@ -475,6 +455,21 @@ class SNDEngine:
             return list(pool.map(run, chunks))
         pool = self._ensure_process_pool(states)
         return list(pool.map(_engine_pairs_worker, chunks))
+
+    def _evaluate_pairs(
+        self,
+        states: Sequence[NetworkState],
+        chunks: list[list[tuple[int, int]]],
+    ) -> list[list[float]]:
+        """Distances for pre-chunked index pairs over *states*.
+
+        Serial when the engine is serial or there is a single tiny chunk;
+        otherwise dispatched to the persistent pool.
+        """
+        n_pairs = sum(len(c) for c in chunks)
+        if self.jobs <= 1 or n_pairs <= 1:
+            return [self._solve_pairs_local(states, chunk) for chunk in chunks]
+        return self._dispatch_chunks(states, chunks)
 
     # ------------------------------------------------------------------ #
     # Series evaluation
@@ -520,32 +515,13 @@ class SNDEngine:
                 out[start : start + window - 1] = vals
             return out
 
-        out = np.empty(n_transitions, dtype=np.float64)
         states = list(series)
-        if transitions is not None:
-            missing: list[int] = []
-            for t in range(n_transitions):
-                cached_value = transitions.get(states[t], states[t + 1])
-                if cached_value is None:
-                    missing.append(t)
-                else:
-                    out[t] = cached_value
-            if not missing:
-                return out
-        else:
-            missing = list(range(n_transitions))
-
-        # Contiguous runs keep the adjacent-state ground-cost reuse of the
-        # serial sweep inside each worker.
-        tasks = _missing_runs(missing, self.jobs)
-        chunks = [[(t, t + 1) for t in range(a, b)] for a, b in tasks]
-        results = self._evaluate_pairs(states, chunks)
-        for (a, _), values in zip(tasks, results):
-            out[a : a + len(values)] = values
-        if transitions is not None:
-            for t in missing:
-                transitions.put(states[t], states[t + 1], out[t])
-        return out
+        pairs = [(t, t + 1) for t in range(n_transitions)]
+        # The scheduler probes the transition cache per pair (preserving
+        # its hit/miss counters exactly), solves the misses in contiguous
+        # chunks, and writes the fresh values back.
+        values = self.scheduler.evaluate(states, pairs, transitions=transitions)
+        return np.asarray(values, dtype=np.float64)
 
     # ------------------------------------------------------------------ #
     # Pairwise matrices
@@ -576,42 +552,14 @@ class SNDEngine:
             return out
         self.caches.ensure_ground_capacity(max(DEFAULT_CACHE_SIZE, 2 * n))
 
+        # Pairs are emitted grouped by row, so the scheduler's contiguous
+        # chunks keep the supplier-side cost arrays hot in each worker.
         pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
-        if transitions is not None:
-            todo = []
-            for i, j in pairs:
-                cached_value = transitions.get(states[i], states[j])
-                if cached_value is None:
-                    todo.append((i, j))
-                else:
-                    out[i, j] = out[j, i] = cached_value
-            pairs = todo
-        if not pairs:
-            return out
-
-        call_jobs = self.jobs if jobs is None else min(self.jobs, resolve_jobs(jobs))
-        # Pairs are emitted grouped by row, so contiguous chunks keep the
-        # supplier-side cost arrays hot in each worker's cache.
-        ranges = _chunk_ranges(len(pairs), max(1, call_jobs))
-        chunks = [pairs[a:b] for a, b in ranges]
-        if call_jobs <= 1 or len(pairs) == 1:
-            row_cache = self._row_cache()
-            results = [
-                [
-                    _pair_distance(
-                        self.snd, states[i], states[j], self.caches.ground, row_cache
-                    )
-                    for i, j in chunk
-                ]
-                for chunk in chunks
-            ]
-        else:
-            results = self._evaluate_pairs(states, chunks)
-        for chunk, values in zip(chunks, results):
-            for (i, j), v in zip(chunk, values):
-                out[i, j] = out[j, i] = v
-                if transitions is not None:
-                    transitions.put(states[i], states[j], v)
+        values = self.scheduler.evaluate(
+            states, pairs, transitions=transitions, jobs=jobs
+        )
+        for (i, j), v in zip(pairs, values):
+            out[i, j] = out[j, i] = v
         return out
 
     # ------------------------------------------------------------------ #
@@ -656,12 +604,11 @@ class SNDEngine:
             distance = None
             scored = None
             if prev is not None:
-                cached_value = transitions.get(prev, state)
-                if cached_value is None:
-                    distance = self._pair(prev, state)
-                    transitions.put(prev, state, distance)
-                else:
-                    distance = cached_value
+                # One pair through the scheduler: answered from the
+                # transition cache when already solved (replays,
+                # overlapping streams), coalesced with any concurrent
+                # request for the same transition otherwise.
+                distance = self.scheduler.submit(prev, state, transitions=transitions)
                 recent.append(distance)
                 scored = detector.push(distance, active_count=state.n_active)
             yield StreamUpdate(
@@ -691,6 +638,7 @@ class SNDEngine:
         JSON-ready)."""
         return {
             "caches": self.caches.stats(),
+            "scheduler": self.scheduler.stats(),
             "jobs": self.jobs,
             "executor": self.executor,
             "pool_starts": self.pool_starts,
@@ -810,7 +758,11 @@ class Corpus:
             raise ValidationError("corpus is empty")
         if k < 1:
             raise ValidationError(f"k must be >= 1, got {k}")
-        distances = np.array([self.engine.distance(state, s) for s in self._states])
+        # (query, member) argument order is preserved through the
+        # scheduler so values stay bit-identical to the per-pair loop.
+        query_states = [state] + self._states
+        query_pairs = [(0, m + 1) for m in range(len(self._states))]
+        distances = np.array(self.engine.scheduler.evaluate(query_states, query_pairs))
         order = np.argsort(distances, kind="stable")[: min(k, len(self._states))]
         return [(int(i), float(distances[i])) for i in order]
 

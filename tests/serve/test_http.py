@@ -1,0 +1,313 @@
+"""HTTP tier tests: every route, error mapping, streaming watch, and the
+counter-asserted duplicate-burst coalescing guarantee over real sockets."""
+
+import json
+import signal
+import subprocess
+import sys
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.exceptions import SchedulerSaturatedError
+from repro.serve import SNDService
+from repro.serve.http import BackgroundServer
+
+
+@pytest.fixture(scope="module")
+def store_path(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("serve-http") / "exp.sqlite")
+    rc = main(
+        [
+            "generate",
+            "--nodes", "60",
+            "--states", "5",
+            "--seeds", "8",
+            "--seed", "3",
+            "--store", path,
+            "--name", "t",
+        ]
+    )
+    assert rc == 0
+    main(
+        [
+            "corpus", "build",
+            "--store", path,
+            "--name", "t",
+            "--corpus", "c",
+            "--clusters", "2",
+            "--first", "3",
+        ]
+    )
+    return path
+
+
+@pytest.fixture
+def server(store_path):
+    with BackgroundServer(SNDService(store_path, clusters=2)) as srv:
+        yield srv
+
+
+def _get(server, path, timeout=30):
+    url = f"http://{server.host}:{server.port}{path}"
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode("utf-8"))
+
+
+def _post(server, path, payload, timeout=60, method="POST"):
+    url = f"http://{server.host}:{server.port}{path}"
+    data = payload if isinstance(payload, bytes) else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode("utf-8"))
+
+
+class TestRoutes:
+    def test_healthz(self, server):
+        status, body = _get(server, "/healthz")
+        assert status == 200
+        assert body == {"ok": True}
+
+    def test_distance(self, server):
+        status, body = _post(server, "/distance", {"name": "t", "i": 0, "j": 1})
+        assert status == 200
+        assert body["distance"] >= 0
+
+    def test_series_matches_service(self, server):
+        status, body = _post(server, "/series", {"name": "t"})
+        assert status == 200
+        expected = server.server.service.series_distances("t")
+        assert np.array_equal(np.array(body["distances"]), expected)
+
+    def test_series_non_snd_measure(self, server):
+        status, body = _post(server, "/series", {"name": "t", "measure": "hamming"})
+        assert status == 200
+        assert len(body["distances"]) == 4
+
+    def test_matrix(self, server):
+        status, body = _post(server, "/matrix", {"name": "t"})
+        assert status == 200
+        matrix = np.array(body["matrix"])
+        assert matrix.shape == (5, 5)
+        assert np.array_equal(matrix, matrix.T)
+
+    def test_corpora_listing(self, server):
+        status, body = _get(server, "/corpora")
+        assert status == 200
+        assert {"graph": "t", "corpus": "c", "n_states": 3} in body
+
+    def test_corpus_query(self, server):
+        status, body = _post(
+            server, "/corpus/query",
+            {"name": "t", "corpus": "c", "state": 0, "k": 2},
+        )
+        assert status == 200
+        neighbours = body["neighbours"]
+        assert len(neighbours) == 2
+        assert neighbours[0]["distance"] <= neighbours[1]["distance"]
+
+    def test_stats_after_work(self, server):
+        _post(server, "/distance", {"name": "t", "i": 0, "j": 1})
+        status, body = _get(server, "/stats")
+        assert status == 200
+        shard = body["shards"]["t"]
+        assert shard["scheduler"]["requested"] >= 1
+        assert "caches" in shard
+
+    def test_keep_alive_reuses_connection(self, server):
+        # Two sequential requests over default urllib behaviour plus an
+        # explicit probe that the server answers repeatedly.
+        for _ in range(3):
+            status, _body = _get(server, "/healthz")
+            assert status == 200
+
+
+class TestWatchStreaming:
+    def test_watch_streams_ndjson(self, server):
+        url = f"http://{server.host}:{server.port}/watch"
+        request = urllib.request.Request(
+            url, data=json.dumps({"name": "t", "window": 3}).encode(),
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=120) as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"] == "application/x-ndjson"
+            lines = [line for line in resp.read().decode().splitlines() if line]
+        updates = [json.loads(line) for line in lines]
+        # One line per state (first has no distance) + the final flush.
+        assert len(updates) == 6
+        distances = [u["distance"] for u in updates if u["distance"] is not None]
+        assert len(distances) == 4
+        assert all(d >= 0 for d in distances)
+        scored = [u["scored"] for u in updates if u["scored"] is not None]
+        assert len(scored) == 4
+        assert all(s["flagged"] in (True, False) for s in scored)
+
+    def test_watch_threshold(self, server):
+        url = f"http://{server.host}:{server.port}/watch"
+        request = urllib.request.Request(
+            url,
+            data=json.dumps({"name": "t", "window": 3, "threshold": 1e9}).encode(),
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=120) as resp:
+            updates = [
+                json.loads(line)
+                for line in resp.read().decode().splitlines()
+                if line
+            ]
+        scored = [u["scored"] for u in updates if u["scored"] is not None]
+        assert scored
+        assert all(s["threshold"] == 1e9 for s in scored)
+        assert not any(s["flagged"] for s in scored)
+
+
+class TestErrorMapping:
+    def test_unknown_route_404(self, server):
+        status, body = _get(server, "/nope")
+        assert status == 404
+        assert "no such route" in body["error"]
+
+    def test_unknown_post_route_404(self, server):
+        status, body = _post(server, "/nope", {})
+        assert status == 404
+
+    def test_unknown_graph_404(self, server):
+        status, body = _post(server, "/series", {"name": "missing"})
+        assert status == 404
+        assert "no graph" in body["error"]
+
+    def test_unknown_corpus_404(self, server):
+        status, body = _post(
+            server, "/corpus/query", {"name": "t", "corpus": "missing", "state": 0}
+        )
+        assert status == 404
+
+    def test_missing_field_400(self, server):
+        status, body = _post(server, "/distance", {"name": "t", "i": 0})
+        assert status == 400
+        assert "missing required field 'j'" in body["error"]
+
+    def test_malformed_json_400(self, server):
+        status, body = _post(server, "/distance", b"{not json")
+        assert status == 400
+
+    def test_non_object_body_400(self, server):
+        status, body = _post(server, "/distance", b"[1, 2]")
+        assert status == 400
+        assert "JSON object" in body["error"]
+
+    def test_out_of_range_index_400(self, server):
+        status, body = _post(server, "/distance", {"name": "t", "i": 0, "j": 99})
+        assert status == 400
+        assert "out of range" in body["error"]
+
+    def test_unsupported_method_405(self, server):
+        status, body = _post(server, "/distance", {}, method="PUT")
+        assert status == 405
+
+    def test_saturated_scheduler_503(self, server, monkeypatch):
+        def saturated(*args, **kwargs):
+            raise SchedulerSaturatedError("scheduler queue full (4096 pending)")
+
+        monkeypatch.setattr(server.server.service, "distance_pair", saturated)
+        status, body = _post(server, "/distance", {"name": "t", "i": 0, "j": 1})
+        assert status == 503
+        assert "full" in body["error"]
+
+
+class TestCoalescingOverHttp:
+    def test_duplicate_pair_burst_solved_once(self, store_path):
+        """N concurrent clients requesting the same pair: exactly one
+        solve, everyone gets the same float — asserted via /stats."""
+        n_clients = 8
+        with BackgroundServer(SNDService(store_path, clusters=2)) as server:
+            results: list[float] = [None] * n_clients
+            errors: list[BaseException] = []
+            barrier = threading.Barrier(n_clients)
+
+            def client(idx: int) -> None:
+                try:
+                    barrier.wait(timeout=30)
+                    status, body = _post(
+                        server, "/distance", {"name": "t", "i": 0, "j": 1}
+                    )
+                    assert status == 200
+                    results[idx] = body["distance"]
+                except BaseException as exc:  # pragma: no cover - surfaced below
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=client, args=(i,))
+                for i in range(n_clients)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+            assert not errors
+            assert len(set(results)) == 1
+
+            _status, stats = _get(server, "/stats")
+            sched = stats["shards"]["t"]["scheduler"]
+            assert sched["requested"] == n_clients
+            assert sched["solved"] == 1  # the counter-asserted guarantee
+            assert sched["coalesced"] + sched["cache_answered"] == n_clients - 1
+
+
+class TestServeSubprocess:
+    def test_cli_serve_end_to_end(self, store_path):
+        """`repro-snd serve` as a real subprocess: parse the bound port
+        from stdout, drive the API, then shut down cleanly on SIGINT."""
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli",
+                "serve",
+                "--store", store_path,
+                "--port", "0",
+                "--clusters", "2",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            bufsize=1,
+        )
+        try:
+            line = proc.stdout.readline()
+            assert "listening on http://" in line, line
+            port = int(line.rsplit(":", 1)[1])
+
+            class _Addr:
+                host = "127.0.0.1"
+
+            addr = _Addr()
+            addr.port = port
+            status, body = _get(addr, "/healthz")
+            assert (status, body) == (200, {"ok": True})
+            status, body = _post(addr, "/distance", {"name": "t", "i": 0, "j": 1})
+            assert status == 200
+            assert body["distance"] >= 0
+            status, _stats = _get(addr, "/stats")
+            assert status == 200
+        finally:
+            proc.send_signal(signal.SIGINT)
+            try:
+                out, err = proc.communicate(timeout=30)
+            except subprocess.TimeoutExpired:  # pragma: no cover - hang guard
+                proc.kill()
+                raise
+        assert proc.returncode == 0, err
+        assert "shutting down" in out

@@ -50,23 +50,29 @@ def fresh_snd(graph):
 class TestResolveJobs:
     def test_serial_spellings(self):
         assert resolve_jobs(None) == 1
-        assert resolve_jobs(0) == 1
         assert resolve_jobs(1) == 1
 
     def test_explicit(self):
         assert resolve_jobs(3) == 3
 
     def test_auto_bounded(self, monkeypatch):
-        import repro.snd.engine as engine_mod
+        import repro.snd.scheduler as scheduler_mod
 
-        monkeypatch.setattr(engine_mod.os, "cpu_count", lambda: 1)
+        monkeypatch.setattr(scheduler_mod.os, "cpu_count", lambda: 1)
         assert resolve_jobs("auto") == 1  # never a pool on 1 CPU
-        monkeypatch.setattr(engine_mod.os, "cpu_count", lambda: 16)
+        monkeypatch.setattr(scheduler_mod.os, "cpu_count", lambda: 16)
         assert resolve_jobs("auto") == 4
 
-    def test_negative_rejected(self):
-        with pytest.raises(ValidationError):
-            resolve_jobs(-2)
+    @pytest.mark.parametrize("bad", [0, -2, -1000])
+    def test_nonpositive_rejected(self, bad):
+        with pytest.raises(ValidationError, match=str(bad)):
+            resolve_jobs(bad)
+
+    @pytest.mark.parametrize("bad", ["fast", "", "2", 2.5, True, [1]])
+    def test_non_integer_rejected(self, bad):
+        # Each rejection names the offending value in the message.
+        with pytest.raises(ValidationError, match="got"):
+            resolve_jobs(bad)
 
 
 class TestEngineSeries:
@@ -390,3 +396,141 @@ class TestMetricSpaceConsumers:
             corpus = Corpus(engine, states[:3])
             matrix = state_distance_matrix(states[1:], corpus)
             assert np.array_equal(matrix, reference)
+
+
+class TestCloseIdempotent:
+    """close() must be safe to call twice, after __del__, and at exit."""
+
+    def test_double_close(self, graph):
+        engine = SNDEngine(fresh_snd(graph), jobs=None)
+        engine.close()
+        engine.close()  # must not raise
+
+    def test_context_exit_after_explicit_close(self, graph):
+        with SNDEngine(fresh_snd(graph), jobs=None) as engine:
+            engine.close()
+        # __exit__ ran close() again — reaching here without raising is the test
+
+    def test_del_after_close(self, graph):
+        engine = SNDEngine(fresh_snd(graph), jobs=None)
+        engine.close()
+        engine.__del__()  # must not raise
+
+    def test_double_close_with_live_pool_releases_shm(self, graph, rng):
+        series = random_series(40, 4, rng)
+        engine = SNDEngine(fresh_snd(graph), jobs=2)
+        engine.evaluate_series(series)  # force pool + shm creation
+        shm = engine._shm
+        engine.close()
+        assert engine._shm is None and engine._pool is None
+        if shm is not None:
+            # The segment is actually gone: re-attaching must fail.
+            from multiprocessing import shared_memory
+
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=shm.name)
+        engine.close()
+        engine.__del__()
+
+    def test_del_on_partially_constructed_engine(self, graph):
+        # __del__ after a failed __init__ sees missing attributes.
+        engine = SNDEngine.__new__(SNDEngine)
+        engine.__del__()  # must not raise
+
+    def test_closed_engine_still_rejects_pool_use(self, graph, rng):
+        series = random_series(40, 4, rng)
+        engine = SNDEngine(fresh_snd(graph), jobs=2)
+        engine.close()
+        engine.close()
+        with pytest.raises(ValidationError):
+            engine._ensure_process_pool(list(series))
+
+
+class TestConcurrentEngine:
+    """Hammer one engine from many threads with overlapping pairs."""
+
+    def test_threads_bit_identical_and_coalesced(self, graph):
+        import threading
+
+        states = distinct_states(40, 8)
+        all_pairs = [(i, j) for i in range(8) for j in range(i + 1, 8)]
+        serial_snd = fresh_snd(graph)
+        expected = {
+            (i, j): serial_snd.distance(states[i], states[j]) for i, j in all_pairs
+        }
+        with SNDEngine(fresh_snd(graph), jobs=None) as engine:
+            sched = engine.scheduler
+            transitions = engine.caches.transitions
+            # 6 threads, each sweeping an overlapping slice of the pairs
+            # (every pair is requested by at least two threads).
+            slices = [all_pairs[k::3] + all_pairs[(k + 1) % 3 :: 3] for k in range(6)]
+            results: dict[int, list[float]] = {}
+            errors: list[BaseException] = []
+
+            def client(idx: int) -> None:
+                try:
+                    results[idx] = sched.evaluate(
+                        states, slices[idx], transitions=transitions
+                    )
+                except BaseException as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=client, args=(i,)) for i in range(6)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert not errors
+            for idx, pairs in enumerate(slices):
+                assert results[idx] == [expected[p] for p in pairs], idx
+            # Duplicates across threads were answered by cache/coalescing:
+            # each unique pair was solved exactly once.
+            assert sched.solved == len(all_pairs)
+            assert sched.requested == sum(len(s) for s in slices)
+            assert (
+                sched.cache_answered + sched.coalesced
+                == sched.requested - sched.solved
+            )
+
+    def test_threads_through_public_entry_points(self, graph, rng):
+        import threading
+
+        series = StateSeries(distinct_states(40, 6))
+        serial_snd = fresh_snd(graph)
+        expected_series = np.array(
+            [serial_snd.distance(a, b) for a, b in series.transitions()]
+        )
+        expected_matrix = serial_snd.pairwise_matrix(list(series))
+        with SNDEngine(fresh_snd(graph), jobs=None) as engine:
+            out: dict[str, object] = {}
+            errors: list[BaseException] = []
+
+            def run(name, fn):
+                try:
+                    out[name] = fn()
+                except BaseException as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(
+                    target=run, args=(f"s{k}", lambda: engine.evaluate_series(series))
+                )
+                for k in range(3)
+            ] + [
+                threading.Thread(
+                    target=run,
+                    args=(f"m{k}", lambda: engine.pairwise_matrix(list(series))),
+                )
+                for k in range(2)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert not errors
+            for k in range(3):
+                assert np.array_equal(out[f"s{k}"], expected_series)
+            for k in range(2):
+                assert np.array_equal(out[f"m{k}"], expected_matrix)
