@@ -13,10 +13,17 @@ solvers are provided:
 * :func:`solve_transportation_lp` — :func:`scipy.optimize.linprog` reference
   (the paper's CPLEX role in Fig. 11).
 
-All agree to numerical tolerance; cross-solver agreement is property-tested
-in ``tests/flow/test_solver_equivalence.py``. ``method="auto"`` picks the
-fastest exact solver for an instance's size (:func:`select_transport_method`);
-the thresholds are documented with measurements in ``benchmarks/README.md``.
+All exact solvers agree to numerical tolerance; cross-solver agreement is
+property-tested in ``tests/flow/test_solver_equivalence.py``. One
+*approximation tier* sits alongside them:
+:func:`solve_transportation_sinkhorn_hybrid` (``"sinkhorn-hybrid"``) — a
+Sinkhorn screen identifies a sparse support, then an exact solver runs on
+that support; its relative error is certified per solve and
+property-tested under tolerance tiers. ``method="auto"`` picks the fastest
+exact solver for an instance's size (:func:`select_transport_method`) and
+routes to the hybrid above :data:`AUTO_HYBRID_CELLS` cells, where exact
+dense solves stop being viable; the thresholds are documented with
+measurements in ``benchmarks/README.md`` and ``docs/solvers.md``.
 """
 
 from repro.exceptions import ValidationError
@@ -24,6 +31,7 @@ from repro.flow.cost_scaling import solve_mcf_cost_scaling
 from repro.flow.lp_reference import solve_transportation_lp
 from repro.flow.problem import MinCostFlowProblem, TransportationProblem
 from repro.flow.sinkhorn import solve_transportation_sinkhorn
+from repro.flow.sinkhorn_hybrid import solve_transportation_sinkhorn_hybrid
 from repro.flow.ssp import select_mcf_kernel, solve_mcf_ssp, solve_transportation_ssp
 from repro.flow.transport_simplex import solve_transportation_simplex
 
@@ -38,6 +46,7 @@ __all__ = [
     "solve_transportation_simplex",
     "solve_transportation_lp",
     "solve_transportation_sinkhorn",
+    "solve_transportation_sinkhorn_hybrid",
     "solve_transportation",
 ]
 
@@ -51,34 +60,61 @@ __all__ = [
 AUTO_SIMPLEX_CELLS = 64
 AUTO_SSP_CELLS = 2048
 
+#: Above this cell count ``method="auto"`` switches from the exact dense
+#: solvers to the ``"sinkhorn-hybrid"`` approximation tier: the screened
+#: sparse exact solve beats the best exact dense solver by >= 5x at <= 1%
+#: certified relative error from roughly this size upward (measured on
+#: powerlaw-graph reduced instances — see benchmarks/README.md and
+#: BENCH_sinkhorn_hybrid.json). Overridable per call via the
+#: ``hybrid_cells`` parameter of :func:`select_transport_method`
+#: (``None`` disables the branch and keeps ``auto`` fully exact).
+AUTO_HYBRID_CELLS = 160_000
+
 _TRANSPORT_SOLVERS = {
     "ssp": solve_transportation_ssp,
     "simplex": solve_transportation_simplex,
     "lp": solve_transportation_lp,
+    "sinkhorn-hybrid": solve_transportation_sinkhorn_hybrid,
 }
 
 
-def select_transport_method(n_suppliers: int, n_consumers: int) -> str:
+def select_transport_method(
+    n_suppliers: int,
+    n_consumers: int,
+    *,
+    hybrid_cells: int | None = AUTO_HYBRID_CELLS,
+) -> str:
     """The ``method="auto"`` policy for dense transportation instances.
 
     Returns ``"simplex"`` for tiny instances (``cells <= 64``), ``"ssp"``
-    for small-to-medium ones (``cells <= 2048``), and ``"lp"`` beyond —
-    the crossovers measured in ``benchmarks/README.md``. All three are
-    exact, so the choice only affects speed.
+    for small-to-medium ones (``cells <= 2048``), ``"lp"`` beyond, and
+    ``"sinkhorn-hybrid"`` for large instances (``cells > hybrid_cells``) —
+    the crossovers measured in ``benchmarks/README.md``. The first three
+    are exact, so their choice only affects speed; the hybrid tier is
+    approximate (certified relative error, see
+    :mod:`repro.flow.sinkhorn_hybrid`) and is the only branch that trades
+    accuracy for scale. Pass ``hybrid_cells=None`` to keep the selection
+    fully exact, or another cell count to move the approximation
+    threshold.
     """
     cells = max(0, int(n_suppliers)) * max(0, int(n_consumers))
     if cells <= AUTO_SIMPLEX_CELLS:
         return "simplex"
     if cells <= AUTO_SSP_CELLS:
         return "ssp"
+    if hybrid_cells is not None and cells > int(hybrid_cells):
+        return "sinkhorn-hybrid"
     return "lp"
 
 
 def solve_transportation(problem: TransportationProblem, *, method: str = "ssp"):
     """Solve a (possibly unbalanced) transportation problem.
 
-    ``method`` is one of ``"ssp"`` (default), ``"simplex"``, ``"lp"``, or
-    ``"auto"`` (size-based selection, :func:`select_transport_method`).
+    ``method`` is one of ``"ssp"`` (default), ``"simplex"``, ``"lp"``,
+    ``"sinkhorn-hybrid"`` (approximate: Sinkhorn-screened sparse exact
+    solve with a certified error bound), or ``"auto"`` (size-based
+    selection, :func:`select_transport_method` — exact below
+    :data:`AUTO_HYBRID_CELLS` cells, hybrid above).
     Returns a :class:`~repro.flow.plan.TransportPlan`.
     """
     if method == "auto":

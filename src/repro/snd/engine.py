@@ -52,6 +52,7 @@ from typing import Iterable, Iterator, Sequence
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.flow.sinkhorn_hybrid import HYBRID_METRICS
 from repro.opinions.state import NEGATIVE, POSITIVE, NetworkState, StateSeries
 from repro.snd.cache import (
     DEFAULT_CACHE_SIZE,
@@ -635,10 +636,18 @@ class SNDEngine:
 
     def stats(self) -> dict:
         """Cache hierarchy counters plus engine/pool state (benchmark
-        JSON-ready)."""
+        JSON-ready).
+
+        The ``"hybrid"`` block aggregates the sinkhorn-hybrid solver's
+        per-solve diagnostics (support density, certified error bounds).
+        It is process-local: serial and thread executors are covered
+        fully; process workers accumulate in-worker and this snapshot
+        then only reflects solves that ran in the engine's own process.
+        """
         return {
             "caches": self.caches.stats(),
             "scheduler": self.scheduler.stats(),
+            "hybrid": HYBRID_METRICS.snapshot(),
             "jobs": self.jobs,
             "executor": self.executor,
             "pool_starts": self.pool_starts,

@@ -20,6 +20,10 @@ Per EMD* term the pipeline is:
    the hub-expanded sparse min-cost flow (vectorised SSP kernel; arc count
    ``O(n∆² + n∆·Nc + Nc·N_b)``), the dense MODI simplex, and the HiGHS LP
    on the bank-folded dense form — all exact, chosen purely for speed.
+   Reduced instances beyond :data:`repro.flow.AUTO_HYBRID_CELLS` cells
+   route to the approximate ``"sinkhorn-hybrid"`` tier (entropic screen +
+   sparse exact solve, certified per-solve error bound; see
+   :mod:`repro.flow.sinkhorn_hybrid`).
 
 Under ``bank_metric="nearest"`` the result *exactly* equals the direct
 (unreduced) EMD* — the extended ground distance is a semimetric, so the
@@ -39,6 +43,7 @@ from repro.emd.reduction import reduced_problem_profile
 from repro.exceptions import ValidationError
 from repro.flow import select_transport_method, solve_mcf_cost_scaling, solve_mcf_ssp
 from repro.flow.problem import MinCostFlowProblem
+from repro.flow.sinkhorn_hybrid import last_hybrid_info
 from repro.graph.digraph import DiGraph
 from repro.shortestpath.dijkstra import dijkstra_multi, multi_source_distances
 from repro.snd.banks import BankAllocation
@@ -49,8 +54,10 @@ __all__ = ["emd_star_term_fast", "FastTermStats", "SOLVER_CHOICES"]
 _EPS = 1e-12
 
 #: Valid values for the ``solver=`` knob of the fast pipeline (and of
-#: :class:`repro.snd.snd.SND`). ``"auto"`` selects per reduced instance.
-SOLVER_CHOICES = ("auto", "ssp", "cost-scaling", "lp", "simplex")
+#: :class:`repro.snd.snd.SND`). ``"auto"`` selects per reduced instance
+#: (and routes very large reduced instances to the approximate
+#: ``"sinkhorn-hybrid"`` tier — see :data:`repro.flow.AUTO_HYBRID_CELLS`).
+SOLVER_CHOICES = ("auto", "ssp", "cost-scaling", "lp", "simplex", "sinkhorn-hybrid")
 
 
 @dataclass
@@ -65,6 +72,12 @@ class FastTermStats:
     cost: float = 0.0
     solver: str = ""
     density: float = 1.0
+    #: Fraction of reduced-instance cells kept by the sinkhorn-hybrid
+    #: screen (1.0 when an exact solver ran, or the instance was small
+    #: enough that the hybrid delegated to an exact solve).
+    support_density: float = 1.0
+    #: Certified relative-error bound of the hybrid solve (0.0 for exact).
+    screen_error_bound: float = 0.0
 
 
 def _min_distance_from_set(
@@ -194,7 +207,10 @@ def emd_star_term_fast(
         Assumption-2 bound ``U`` (sizes the unreachable-distance clamp).
     solver:
         ``"ssp"`` (default), ``"cost-scaling"``, ``"lp"``, ``"simplex"``,
-        or ``"auto"`` (per-instance size-based selection).
+        ``"sinkhorn-hybrid"`` (approximate, certified error bound), or
+        ``"auto"`` (per-instance size-based selection; routes reduced
+        instances above :data:`repro.flow.AUTO_HYBRID_CELLS` cells to the
+        hybrid tier).
     bank_metric:
         ``"nearest"`` (default, semimetric-preserving) or ``"cluster"``
         (the literal Eq. 4); see :func:`repro.emd.emd_star.build_extension`.
@@ -341,9 +357,11 @@ def emd_star_term_fast(
         stats.n_arcs = 0
         stats.density = profile["density"]
 
-    if solver in ("lp", "simplex"):
+    if solver in ("lp", "simplex", "sinkhorn-hybrid"):
         # Dense bank-folded transportation problem — the fast choice for
         # large n∆ where per-augmentation overhead dominates the MCF path.
+        # "sinkhorn-hybrid" rides the same folding and trades a certified
+        # relative error for scale on very large reduced instances.
         cost = _solve_reduced_dense(
             sup_amounts,
             con_amounts,
@@ -357,6 +375,11 @@ def emd_star_term_fast(
         )
         if stats is not None:
             stats.cost = float(cost)
+            if solver == "sinkhorn-hybrid":
+                info = last_hybrid_info()
+                if info is not None:
+                    stats.support_density = float(info.support_density)
+                    stats.screen_error_bound = float(info.screen_error_bound)
         return float(cost)
 
     # ---- build the hub-expanded min-cost-flow instance ---------------- #
@@ -440,7 +463,8 @@ def _solve_reduced_dense(
     Bank bins are appended as extra consumers (or suppliers); the hub
     decomposition is folded back into per-pair costs ``leg + γ``. The
     instance is handed to :func:`repro.flow.solve_transportation` with
-    *method* (``"lp"`` — HiGHS — or ``"simplex"`` — MODI).
+    *method* (``"lp"`` — HiGHS —, ``"simplex"`` — MODI —, or
+    ``"sinkhorn-hybrid"`` — approximate screened solve).
     """
     from repro.flow import solve_transportation
     from repro.flow.problem import TransportationProblem

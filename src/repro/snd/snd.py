@@ -83,7 +83,11 @@ class SND:
     heap:
         Heap for the python engine: ``"binary"``, ``"radix"``, ``"pairing"``.
     solver:
-        Reduced-problem solver: ``"ssp"`` (default) or ``"cost-scaling"``.
+        Reduced-problem solver: ``"ssp"`` (default), ``"cost-scaling"``,
+        ``"lp"``, ``"simplex"``, ``"sinkhorn-hybrid"`` (approximate, with
+        a certified per-solve error bound), or ``"auto"`` (per-instance
+        size-based selection; large reduced instances route to the hybrid
+        tier).
 
     Examples
     --------

@@ -62,8 +62,7 @@ class TestAnomalyScores:
 
 
 class TestDetector:
-    def test_detects_known_spikes(self):
-        rng = np.random.default_rng(0)
+    def test_detects_known_spikes(self, rng):
         d = 0.1 + 0.01 * rng.random(30)
         d[[7, 19]] = 1.0
         result = detect_anomalies(d)
@@ -129,8 +128,7 @@ class TestRoc:
         labels = np.array([1, 1, 0, 0])
         assert roc_auc(scores, labels) == pytest.approx(0.0)
 
-    def test_random_ranking_half(self):
-        rng = np.random.default_rng(1)
+    def test_random_ranking_half(self, rng):
         scores = rng.random(2000)
         labels = rng.random(2000) < 0.3
         assert roc_auc(scores, labels) == pytest.approx(0.5, abs=0.05)
@@ -140,8 +138,7 @@ class TestRoc:
         assert fpr[0] == 0.0 and tpr[0] == 0.0
         assert fpr[-1] == 1.0 and tpr[-1] == 1.0
 
-    def test_curve_monotone(self):
-        rng = np.random.default_rng(2)
+    def test_curve_monotone(self, rng):
         scores = rng.random(50)
         labels = rng.random(50) < 0.4
         fpr, tpr = roc_curve(scores, labels)

@@ -13,13 +13,11 @@ def euclidean(a, b):
 
 class TestVPTree:
     @pytest.fixture
-    def points(self):
-        rng = np.random.default_rng(3)
+    def points(self, rng):
         return [rng.normal(size=4) for _ in range(60)]
 
-    def test_matches_brute_force(self, points):
+    def test_matches_brute_force(self, rng, points):
         tree = VPTree(points, euclidean, seed=0)
-        rng = np.random.default_rng(1)
         for _ in range(10):
             query = rng.normal(size=4)
             idx, dist = tree.nearest(query)
@@ -27,10 +25,9 @@ class TestVPTree:
             assert idx == brute
             assert dist == pytest.approx(euclidean(query, points[brute]))
 
-    def test_pruning_beats_brute_force(self, points):
+    def test_pruning_beats_brute_force(self, rng, points):
         tree = VPTree(points, euclidean, seed=0)
         total = 0
-        rng = np.random.default_rng(2)
         for _ in range(10):
             tree.nearest(rng.normal(size=4))
             total += tree.last_query_evaluations
@@ -58,8 +55,7 @@ class TestVPTree:
 
 
 class TestKMedoids:
-    def make_blobs(self):
-        rng = np.random.default_rng(0)
+    def make_blobs(self, rng):
         pts = np.vstack([
             rng.normal(0, 0.3, size=(10, 2)),
             rng.normal(5, 0.3, size=(10, 2)),
@@ -67,21 +63,21 @@ class TestKMedoids:
         d = np.linalg.norm(pts[:, None, :] - pts[None, :, :], axis=2)
         return d
 
-    def test_recovers_blobs(self):
-        d = self.make_blobs()
+    def test_recovers_blobs(self, rng):
+        d = self.make_blobs(rng)
         labels, medoids, cost = k_medoids(d, 2, seed=0)
         assert len(set(labels[:10].tolist())) == 1
         assert len(set(labels[10:].tolist())) == 1
         assert labels[0] != labels[10]
         assert cost >= 0
 
-    def test_k_equals_n(self):
-        d = self.make_blobs()
+    def test_k_equals_n(self, rng):
+        d = self.make_blobs(rng)
         labels, medoids, cost = k_medoids(d, d.shape[0], seed=0)
         assert cost == pytest.approx(0.0)
 
-    def test_bad_k(self):
-        d = self.make_blobs()
+    def test_bad_k(self, rng):
+        d = self.make_blobs(rng)
         with pytest.raises(ValidationError):
             k_medoids(d, 0)
         with pytest.raises(ValidationError):
@@ -91,8 +87,8 @@ class TestKMedoids:
         with pytest.raises(ValidationError):
             k_medoids(np.zeros((2, 3)), 1)
 
-    def test_deterministic(self):
-        d = self.make_blobs()
+    def test_deterministic(self, rng):
+        d = self.make_blobs(rng)
         a = k_medoids(d, 2, seed=5)
         b = k_medoids(d, 2, seed=5)
         assert np.array_equal(a[0], b[0])

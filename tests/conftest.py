@@ -48,10 +48,33 @@ def rng(request) -> np.random.Generator:
 
     Every randomized test draws from this fixture so runs are reproducible
     and two tests never share a stream; parametrized cases get distinct
-    seeds because the node id includes the parameter repr.
+    seeds because the node id includes the parameter repr. Tests needing
+    several independent generators derive child seeds via
+    ``np.random.default_rng(int(rng.integers(0, 2**32)))``.
     """
     seed = zlib.crc32(request.node.nodeid.encode())
     return np.random.default_rng(seed)
+
+
+@pytest.fixture(autouse=True)
+def _global_rng_guard():
+    """Fail any test that mutates numpy's *global* RNG state.
+
+    Determinism contract: all randomness flows through the seeded ``rng``
+    fixture (or generators derived from it), never through the legacy
+    ``np.random.seed`` / ``np.random.rand`` global stream — a test relying
+    on the global stream is order-dependent and breaks under ``-p
+    no:randomly``-style reordering or parallel splits.
+    """
+    before = np.random.get_state()
+    yield
+    after = np.random.get_state()
+    assert before[0] == after[0] and np.array_equal(before[1], after[1]) and (
+        before[2:] == after[2:]
+    ), (
+        "test mutated the global numpy RNG state; draw from the seeded "
+        "`rng` fixture instead of np.random.* module-level functions"
+    )
 
 
 @pytest.fixture

@@ -62,8 +62,7 @@ class TestMetricProperties:
     """Theorem 1: EMD is a metric on equal-mass histograms over metric D."""
 
     @pytest.fixture
-    def setup(self):
-        rng = np.random.default_rng(3)
+    def setup(self, rng):
         points = rng.uniform(0, 10, size=(5, 2))
         d = metric_from_points(points)
         def hist():

@@ -45,8 +45,7 @@ class TestTheorem2:
             emd_hat(p, q, d, alpha=alpha), abs=1e-7
         )
 
-    def test_equality_with_mass_mismatch(self):
-        rng = np.random.default_rng(42)
+    def test_equality_with_mass_mismatch(self, rng):
         d = random_metric(rng, 4)
         p = np.array([5.0, 0.0, 2.0, 0.0])
         q = np.array([0.0, 1.0, 0.0, 0.0])  # much lighter
@@ -94,8 +93,7 @@ class TestExtension:
 
 class TestCorollary1:
     @pytest.mark.parametrize("k", [0.0, 1.0, 7.5])
-    def test_bank_padding_invariant(self, k):
-        rng = np.random.default_rng(9)
+    def test_bank_padding_invariant(self, rng, k):
         d = random_metric(rng, 4)
         p = rng.integers(1, 6, 4).astype(float)
         q = rng.integers(1, 6, 4).astype(float)

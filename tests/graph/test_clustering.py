@@ -95,9 +95,8 @@ class TestLabelPropagation:
 
 
 class TestModularity:
-    def test_good_partition_beats_random(self):
+    def test_good_partition_beats_random(self, rng):
         g, truth = planted_partition_graph([12, 12], 0.6, 0.05, seed=3)
-        rng = np.random.default_rng(0)
         random_labels = rng.integers(0, 2, size=g.num_nodes)
         assert modularity(g, truth) > modularity(g, random_labels)
 

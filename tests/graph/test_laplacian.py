@@ -39,10 +39,9 @@ class TestLaplacian:
         x = np.array([1.0, 1.0, 0.0, 0.0])
         assert quadratic_form(lap, x) == pytest.approx(1.0)
 
-    def test_quadratic_form_nonnegative(self):
+    def test_quadratic_form_nonnegative(self, rng):
         g = erdos_renyi_graph(25, 0.2, seed=2)
         lap = laplacian_matrix(g)
-        rng = np.random.default_rng(0)
         for _ in range(5):
             x = rng.normal(size=25)
             assert quadratic_form(lap, x) >= 0.0

@@ -139,8 +139,7 @@ class TestDijkstraLikeWorkload:
     """Simulated monotone workload, checked against a sorted reference."""
 
     @pytest.mark.parametrize("kind", HEAP_KINDS)
-    def test_random_monotone_workload(self, kind):
-        rng = np.random.default_rng(12)
+    def test_random_monotone_workload(self, rng, kind):
         capacity = 128
         h = build(kind, capacity=capacity, max_key=100_000)
         keys = {}

@@ -59,11 +59,11 @@ class TestModelAgnostic:
         with pytest.raises(ModelError):
             model.spreading_penalties(g, state, 0)
 
-    def test_no_simulation(self, setup):
+    def test_no_simulation(self, setup, rng):
         g, state, model = setup
         assert not model.supports_simulation()
         with pytest.raises(NotImplementedError):
-            model.step(g, state, np.random.default_rng(0))
+            model.step(g, state, rng)
 
 
 class TestIndependentCascade:

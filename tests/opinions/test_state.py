@@ -98,14 +98,13 @@ class TestComparisonModification:
 
 
 class TestStateSeries:
-    def make_series(self, t=4, n=5):
-        rng = np.random.default_rng(0)
+    def make_series(self, rng, t=4, n=5):
         return StateSeries(
             [NetworkState(rng.choice([-1, 0, 1], n)) for _ in range(t)]
         )
 
-    def test_length_and_iteration(self):
-        series = self.make_series(4)
+    def test_length_and_iteration(self, rng):
+        series = self.make_series(rng, 4)
         assert len(series) == 4
         assert sum(1 for _ in series) == 4
 
@@ -130,13 +129,13 @@ class TestStateSeries:
         assert len(sliced) == 2
         assert sliced.labels == ["b", "c"]
 
-    def test_matrix_roundtrip(self):
-        series = self.make_series(3, 6)
+    def test_matrix_roundtrip(self, rng):
+        series = self.make_series(rng, 3, 6)
         back = StateSeries.from_matrix(series.to_matrix())
         assert all(x == y for x, y in zip(series, back))
 
-    def test_transitions(self):
-        series = self.make_series(4)
+    def test_transitions(self, rng):
+        series = self.make_series(rng, 4)
         pairs = list(series.transitions())
         assert len(pairs) == 3
         assert pairs[0][0] == series[0]

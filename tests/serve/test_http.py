@@ -268,6 +268,85 @@ class TestCoalescingOverHttp:
             assert sched["coalesced"] + sched["cache_answered"] == n_clients - 1
 
 
+class TestHybridOverHttp:
+    """The approximate tier exercised end-to-end over real sockets: the
+    hybrid diagnostics surface in /stats, and genuine scheduler saturation
+    (not a stubbed raise) maps to HTTP 503 with the rejected counter."""
+
+    def test_hybrid_service_distance_and_stats(self, store_path):
+        from repro.flow.sinkhorn_hybrid import HYBRID_METRICS
+
+        before = HYBRID_METRICS.snapshot()["solves"]
+        service = SNDService(store_path, clusters=2, solver="sinkhorn-hybrid")
+        with BackgroundServer(service) as server:
+            # States 0 and 2 differ (0/1 are identical -> distance 0 with
+            # no transportation solve, which would leave the metrics flat).
+            status, body = _post(server, "/distance", {"name": "t", "i": 0, "j": 2})
+            assert status == 200
+            assert body["distance"] > 0
+            _status, stats = _get(server, "/stats")
+            hybrid = stats["shards"]["t"]["hybrid"]
+            assert hybrid["solves"] > before
+            assert 0.0 <= hybrid["last_support_density"] <= 1.0
+
+    def test_real_saturation_maps_to_503(self, store_path, monkeypatch):
+        import repro.flow as flow_mod
+
+        real = flow_mod._TRANSPORT_SOLVERS["sinkhorn-hybrid"]
+        hold = threading.Event()
+        started = threading.Event()
+
+        def throttled(problem, **kw):
+            started.set()
+            hold.wait(timeout=30)
+            return real(problem, **kw)
+
+        monkeypatch.setitem(
+            flow_mod._TRANSPORT_SOLVERS, "sinkhorn-hybrid", throttled
+        )
+        service = SNDService(
+            store_path, clusters=2, solver="sinkhorn-hybrid", max_pending=1
+        )
+        with BackgroundServer(service) as server:
+            first: list = []
+
+            def slow_client() -> None:
+                first.append(_post(server, "/distance", {"name": "t", "i": 0, "j": 2}))
+
+            t = threading.Thread(target=slow_client)
+            t.start()
+            assert started.wait(timeout=30)  # hybrid solve now holds the slot
+
+            # Swap in a non-blocking submit over the same genuine path so the
+            # second request observes saturation instead of queueing behind it.
+            def nonblocking_distance_pair(graph_name, i, j):
+                shard = service.shard(graph_name)
+                engine = shard.engine()
+                return engine.scheduler.submit(
+                    shard.series[i],
+                    shard.series[j],
+                    transitions=engine.caches.transitions,
+                    block=False,
+                )
+
+            monkeypatch.setattr(
+                service, "distance_pair", nonblocking_distance_pair
+            )
+            status, body = _post(server, "/distance", {"name": "t", "i": 2, "j": 3})
+            assert status == 503
+            assert "error" in body
+
+            hold.set()
+            t.join(timeout=120)
+            assert first and first[0][0] == 200
+
+            _status, stats = _get(server, "/stats")
+            sched = stats["shards"]["t"]["scheduler"]
+            assert sched["rejected"] == 1
+            assert sched["solved"] >= 1
+            assert stats["shards"]["t"]["hybrid"]["solves"] >= 1
+
+
 class TestServeSubprocess:
     def test_cli_serve_end_to_end(self, store_path):
         """`repro-snd serve` as a real subprocess: parse the bound port

@@ -12,9 +12,9 @@ from repro.shortestpath.johnson import johnson_all_pairs
 
 
 class TestBellmanFord:
-    def test_matches_dijkstra_on_nonnegative(self):
+    def test_matches_dijkstra_on_nonnegative(self, rng):
         g = erdos_renyi_graph(30, 0.15, seed=0, directed=True)
-        w = np.random.default_rng(1).integers(1, 10, g.num_edges).astype(float)
+        w = rng.integers(1, 10, g.num_edges).astype(float)
         assert np.allclose(bellman_ford(g, 0, weights=w), dijkstra(g, 0, weights=w))
 
     def test_negative_edges(self):
@@ -34,9 +34,9 @@ class TestBellmanFord:
 
 
 class TestJohnson:
-    def test_matches_per_source_dijkstra(self):
+    def test_matches_per_source_dijkstra(self, rng):
         g = erdos_renyi_graph(20, 0.2, seed=3, directed=True)
-        w = np.random.default_rng(2).integers(1, 8, g.num_edges).astype(float)
+        w = rng.integers(1, 8, g.num_edges).astype(float)
         ap = johnson_all_pairs(g, weights=w)
         for s in (0, 5, 13):
             assert np.allclose(ap[s], dijkstra(g, s, weights=w))

@@ -55,9 +55,9 @@ class TestMultiSource:
 
 @pytest.mark.parametrize("heap", HEAP_KINDS)
 class TestHeapVariants:
-    def test_all_heaps_agree(self, heap):
+    def test_all_heaps_agree(self, heap, rng):
         g = erdos_renyi_graph(40, 0.15, seed=2, directed=True)
-        w = np.maximum(1, np.round(np.random.default_rng(0).uniform(1, 9, g.num_edges)))
+        w = np.maximum(1, np.round(rng.uniform(1, 9, g.num_edges)))
         base = dijkstra(g, 0, weights=w, heap="binary")
         assert np.allclose(dijkstra(g, 0, weights=w, heap=heap), base)
 
@@ -86,8 +86,7 @@ class TestNetworkxOracle:
 
 class TestEngines:
     @pytest.mark.parametrize("reverse", [False, True])
-    def test_scipy_and_python_agree(self, reverse):
-        rng = np.random.default_rng(5)
+    def test_scipy_and_python_agree(self, rng, reverse):
         g = erdos_renyi_graph(30, 0.15, seed=5, directed=True)
         w = rng.integers(1, 9, g.num_edges).astype(np.float64)
         sources = np.array([0, 3, 7])

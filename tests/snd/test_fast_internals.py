@@ -89,10 +89,9 @@ class TestTermEdgeCases:
         value = emd_star_term_fast(graph, p, q, costs, banks, max_cost=64)
         assert value > 0
 
-    def test_fractional_masses(self, setting):
+    def test_fractional_masses(self, rng, setting):
         """Real-valued histograms work (the API is not 0/1-only)."""
         graph, costs, banks = setting
-        rng = np.random.default_rng(0)
         p = rng.uniform(0, 1, 25)
         q = rng.uniform(0, 1, 25)
         value = emd_star_term_fast(graph, p, q, costs, banks, max_cost=64)

@@ -29,8 +29,7 @@ def random_states(rng, n, change_fraction=0.2):
 
 @pytest.mark.parametrize("strategy", ["cluster", "global", "per-bin"])
 @pytest.mark.parametrize("bank_shares", ["mass", "size"])
-def test_fast_equals_direct_over_strategies(strategy, bank_shares):
-    rng = np.random.default_rng(hash((strategy, bank_shares)) % 2**32)
+def test_fast_equals_direct_over_strategies(strategy, bank_shares, rng):
     g = erdos_renyi_graph(25, 0.15, seed=int(rng.integers(1e6)))
     banks = allocate_banks(g, strategy=strategy, n_clusters=3, seed=0)
     a, b = random_states(rng, 25)
@@ -48,8 +47,7 @@ def test_fast_equals_direct_over_strategies(strategy, bank_shares):
     ],
     ids=["agnostic", "icc", "ltc"],
 )
-def test_fast_equals_direct_over_models(model_factory):
-    rng = np.random.default_rng(99)
+def test_fast_equals_direct_over_models(model_factory, rng):
     g = erdos_renyi_graph(30, 0.12, seed=4, directed=True)
     banks = allocate_banks(g, n_clusters=3, seed=1)
     a, b = random_states(rng, 30)
@@ -59,8 +57,7 @@ def test_fast_equals_direct_over_models(model_factory):
     assert fast == pytest.approx(direct, abs=1e-7)
 
 
-def test_fast_equals_direct_multiple_banks():
-    rng = np.random.default_rng(5)
+def test_fast_equals_direct_multiple_banks(rng):
     g = erdos_renyi_graph(20, 0.2, seed=5)
     banks = allocate_banks(g, n_clusters=2, n_banks=3, seed=2)
     a, b = random_states(rng, 20)
@@ -73,7 +70,6 @@ def test_fast_equals_direct_disconnected_graph():
     """Unreachable pairs exercise the clamp consistency between paths."""
     from repro.graph.digraph import DiGraph
 
-    rng = np.random.default_rng(6)
     # Two components, no edges between them.
     edges = [(0, 1), (1, 2), (2, 0), (4, 5), (5, 6)]
     g = DiGraph(8, edges)  # nodes 3 and 7 fully isolated
@@ -97,10 +93,9 @@ def test_fast_equals_direct_extreme_mismatch():
     assert fast == pytest.approx(direct, abs=1e-7)
 
 
-def test_fast_equals_direct_cluster_bank_metric_per_bin():
+def test_fast_equals_direct_cluster_bank_metric_per_bin(rng):
     """Under per-bin banks, cluster-level and nearest-member bank metrics
     coincide, so the literal Eq. 4 variant is exactly reproducible too."""
-    rng = np.random.default_rng(31)
     g = erdos_renyi_graph(15, 0.25, seed=11)
     banks = allocate_banks(g, strategy="per-bin", seed=0)
     a, b = random_states(rng, 15)

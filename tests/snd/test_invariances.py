@@ -122,10 +122,9 @@ class TestGammaResponse:
 
 
 class TestSeriesBehaviour:
-    def test_triangle_inequality_with_size_shares(self):
+    def test_triangle_inequality_with_size_shares(self, rng):
         """SND with size-proportional bank shares inherits EMD*'s metric
         triangle inequality (random triples)."""
-        rng = np.random.default_rng(11)
         n = 20
         g = erdos_renyi_graph(n, 0.25, seed=4)
         banks = allocate_banks(g, n_clusters=2, seed=0)

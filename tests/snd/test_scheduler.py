@@ -295,3 +295,118 @@ class TestStats:
             assert stats["solved"] == 1
             assert stats["coalesced"] == 1
             assert engine.stats()["scheduler"] == stats
+
+
+def hybrid_engine(graph, **kwargs) -> SNDEngine:
+    return SNDEngine(
+        SND(graph, n_clusters=2, seed=0, solver="sinkhorn-hybrid"),
+        jobs=None,
+        **kwargs,
+    )
+
+
+def throttle_hybrid(monkeypatch, *, delay=0.0, hold=None, started=None):
+    """Wrap the registered sinkhorn-hybrid solver so every reduced solve
+    is slow (or blocks on *hold*), simulating large-instance latency while
+    keeping values exact. Patching the registry entry throttles the real
+    solve path (emd_star_term_fast -> solve_transportation), not a stub."""
+    import repro.flow as flow_mod
+
+    real = flow_mod._TRANSPORT_SOLVERS["sinkhorn-hybrid"]
+
+    def throttled(problem, **kw):
+        if started is not None:
+            started.set()
+        if hold is not None:
+            hold.wait(timeout=30)
+        if delay:
+            time.sleep(delay)
+        return real(problem, **kw)
+
+    monkeypatch.setitem(flow_mod._TRANSPORT_SOLVERS, "sinkhorn-hybrid", throttled)
+    return real
+
+
+class TestThrottledHybridSolves:
+    """Satellite: slow *approximate* solves must neither break coalescing
+    nor dodge backpressure — the scheduler guarantees are solver-agnostic."""
+
+    def test_concurrent_same_pair_still_one_solve(self, graph, monkeypatch):
+        states = distinct_states(30, 2)
+        reference = SND(graph, n_clusters=2, seed=0, solver="sinkhorn-hybrid").distance(
+            states[0], states[1]
+        )
+        started = threading.Event()
+        throttle_hybrid(monkeypatch, delay=0.1, started=started)
+        n_threads = 5
+        with hybrid_engine(graph) as engine:
+            sched = engine.scheduler
+            transitions = engine.caches.transitions
+            results: list[float] = [None] * n_threads
+            errors: list[BaseException] = []
+
+            def client(idx: int) -> None:
+                try:
+                    if idx > 0:
+                        started.wait(timeout=10)
+                    results[idx] = sched.submit(
+                        states[0], states[1], transitions=transitions
+                    )
+                except BaseException as exc:  # pragma: no cover - surfaced below
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=client, args=(i,)) for i in range(n_threads)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert not errors
+            assert sched.solved == 1  # one slow hybrid solve, N answers
+            assert sched.requested == n_threads
+            assert sched.coalesced + sched.cache_answered == n_threads - 1
+            assert len(set(results)) == 1
+            assert results[0] == reference  # throttling never changes values
+
+    def test_saturated_scheduler_raises_with_counters(self, graph, monkeypatch):
+        states = distinct_states(30, 4)
+        hold = threading.Event()
+        started = threading.Event()
+        throttle_hybrid(monkeypatch, hold=hold, started=started)
+        with hybrid_engine(graph, max_pending=1) as engine:
+            sched = engine.scheduler
+            t = threading.Thread(target=lambda: sched.evaluate(states, [(0, 1)]))
+            t.start()
+            assert started.wait(timeout=10)  # hybrid solve now in flight
+            with pytest.raises(SchedulerSaturatedError):
+                sched.evaluate(states, [(2, 3)], block=False)
+            assert sched.rejected == 1
+            assert sched.pending == 1  # the stalled hybrid pair
+            hold.set()
+            t.join(timeout=60)
+            assert sched.pending == 0
+            stats = sched.stats()
+            assert stats["rejected"] == 1
+            assert stats["solved"] == 1
+
+    def test_engine_stats_embed_hybrid_block(self, graph):
+        from repro.flow.sinkhorn_hybrid import HYBRID_METRICS
+
+        states = distinct_states(30, 2)
+        before = HYBRID_METRICS.snapshot()["solves"]
+        with hybrid_engine(graph) as engine:
+            engine.scheduler.evaluate(states, [(0, 1)])
+            stats = engine.stats()
+            assert "hybrid" in stats
+            for key in (
+                "solves",
+                "screened_solves",
+                "support_density",
+                "last_support_density",
+                "screen_error_bound",
+                "max_screen_error_bound",
+            ):
+                assert key in stats["hybrid"]
+            # The pair's reduced solves all went through the hybrid tier.
+            assert stats["hybrid"]["solves"] > before
