@@ -16,6 +16,15 @@ Measures the two levers PR 3 adds over the PR-2 batch layer, writing
    ``k·N + k·(k-1)/2`` fresh pairs (counter-asserted through the
    :class:`~repro.snd.TransitionCache`) and produce a matrix bit-identical
    to the from-scratch ``(N+k)``-state sweep.
+3. **Warm-started network simplex.** A flare-return series (baseline
+   state, recurring flare perturbations around it — the paper's
+   stationary-background regime) swept with ``solver="network-simplex"``
+   twice: cold (``use_basis_cache=False``) and warm (the engine threads
+   its :class:`~repro.snd.cache.BasisCache` into every term). Pivots per
+   solve come from :data:`repro.flow.network_simplex.SIMPLEX_METRICS`
+   snapshot deltas (engines run serially so the counters stay
+   in-process); the warm sweep must cut them by >= 2x on both the
+   windowed sweep and a corpus append, with values identical to 1e-9.
 
 The engine's unified cache-hierarchy counters
 (:meth:`~repro.snd.CacheManager.stats`) are embedded in the JSON.
@@ -33,16 +42,28 @@ from pathlib import Path
 import numpy as np
 
 from common import print_table, record
+from repro.flow.network_simplex import SIMPLEX_METRICS
 from repro.graph.generators import powerlaw_configuration_graph
 from repro.opinions.dynamics import generate_series
+from repro.opinions.state import NetworkState, StateSeries
 from repro.snd import SND, Corpus, SNDEngine
 
 JSON_PATH = Path(__file__).parent / "BENCH_engine.json"
 
 #: Full scale mirrors the CLI ``generate`` defaults (the acceptance
 #: workload of BENCH_batch_series); quick scale keeps CI under a minute.
-FULL = {"n_nodes": 2000, "n_states": 12, "n_seeds": 100, "corpus_base": 8, "k": 2, "sweeps": 3}
-QUICK = {"n_nodes": 400, "n_states": 8, "n_seeds": 30, "corpus_base": 6, "k": 2, "sweeps": 3}
+FULL = {
+    "n_nodes": 2000, "n_states": 12, "n_seeds": 100, "corpus_base": 8, "k": 2,
+    "sweeps": 3,
+    "flare": {"n_base": 100, "n_dropped": 20, "n_core": 15, "n_drift": 2,
+              "n_flares": 10, "corpus_base": 6, "corpus_ext": 3},
+}
+QUICK = {
+    "n_nodes": 400, "n_states": 8, "n_seeds": 30, "corpus_base": 6, "k": 2,
+    "sweeps": 3,
+    "flare": {"n_base": 30, "n_dropped": 5, "n_core": 6, "n_drift": 1,
+              "n_flares": 8, "corpus_base": 5, "corpus_ext": 2},
+}
 
 
 def _dataset(cfg):
@@ -80,6 +101,164 @@ def _distinct_states(series, count):
         seen.add(s.values.tobytes())
         states.append(s)
     return states
+
+
+def _flare_states(graph, fc, seed=1):
+    """Baseline state plus recurring flare perturbations around it.
+
+    Each flare silences a fixed slice of baseline adopters, ignites a
+    fixed core, and adds a per-flare drifting fringe — so consecutive
+    reduced instances (Lemma 2 cancels the common mass) share most of
+    their surplus labels. That is the temporal-locality regime the basis
+    cache exists for: exact hits on recurring transitions, reverse hits
+    on the opposite term order, supplier hits across the drifting fringe.
+    """
+    n = graph.num_nodes
+    rng = np.random.default_rng(seed)
+    nodes = rng.permutation(n)
+    nb, nc, nd = fc["n_base"], fc["n_core"], fc["n_drift"]
+    base_pos = sorted(nodes[:nb].tolist())
+    base_neg = sorted(nodes[nb:2 * nb].tolist())
+    dropped = set(base_pos[:fc["n_dropped"]])
+    core_pos = sorted(nodes[2 * nb:2 * nb + nc].tolist())
+    core_neg = sorted(nodes[2 * nb + nc:2 * nb + 2 * nc].tolist())
+    drift = nodes[2 * nb + 2 * nc:].tolist()
+
+    baseline = NetworkState.from_active_sets(
+        n, positive=base_pos, negative=base_neg
+    )
+
+    def flare(t):
+        lo = 2 * nd * t
+        return NetworkState.from_active_sets(
+            n,
+            positive=[u for u in base_pos if u not in dropped]
+            + core_pos + drift[lo:lo + nd],
+            negative=base_neg + core_neg + drift[lo + nd:lo + 2 * nd],
+        )
+
+    return baseline, [flare(t) for t in range(fc["n_flares"])]
+
+
+def _pivot_stats(before, after):
+    d = {
+        k: after[k] - before[k]
+        for k in ("solves", "cold_solves", "warm_solves", "cold_pivots",
+                  "warm_pivots")
+    }
+    d["pivots_per_solve"] = round(
+        (d["cold_pivots"] + d["warm_pivots"]) / max(d["solves"], 1), 3
+    )
+    return d
+
+
+def _network_simplex_section(graph, cfg, verbose):
+    """Cold vs warm network-simplex sweeps; returns (results, table rows)."""
+    fc = cfg["flare"]
+    baseline, flares = _flare_states(graph, fc)
+    series = StateSeries(
+        [baseline] + [s for f in flares for s in (f, baseline)]
+    )
+    nb_corpus = fc["corpus_base"] + fc["corpus_ext"]
+    corpus_states = ([baseline] + flares)[:nb_corpus]
+    base_states = corpus_states[:fc["corpus_base"]]
+    ext_states = corpus_states[fc["corpus_base"]:]
+
+    def ns_engine(use_basis):
+        snd = SND(graph, n_clusters=24, seed=0, solver="network-simplex")
+        # Serial on purpose: SIMPLEX_METRICS is process-local, so pool
+        # workers would accumulate pivots out of the parent's sight.
+        return SNDEngine(snd, jobs=None, use_basis_cache=use_basis)
+
+    def sweep(use_basis):
+        SIMPLEX_METRICS.reset()
+        with ns_engine(use_basis) as engine:
+            before = SIMPLEX_METRICS.snapshot()
+            t0 = time.perf_counter()
+            values = engine.evaluate_series(series)
+            dt = time.perf_counter() - t0
+            stats = _pivot_stats(before, SIMPLEX_METRICS.snapshot())
+            bases = engine.stats()["caches"]["bases"]
+        return values, dt, stats, bases
+
+    def append(use_basis):
+        SIMPLEX_METRICS.reset()
+        with ns_engine(use_basis) as engine:
+            corpus = Corpus(engine, base_states)  # untimed priming
+            before = SIMPLEX_METRICS.snapshot()
+            t0 = time.perf_counter()
+            matrix = corpus.extend(ext_states)
+            dt = time.perf_counter() - t0
+            stats = _pivot_stats(before, SIMPLEX_METRICS.snapshot())
+            bases = engine.stats()["caches"]["bases"]
+        return matrix, dt, stats, bases
+
+    v_cold, t_cold, sweep_cold, _ = sweep(False)
+    v_warm, t_warm, sweep_warm, sweep_bases = sweep("auto")
+    assert np.allclose(v_cold, v_warm, atol=1e-9), (
+        "warm-started sweep deviates from the cold network-simplex sweep"
+    )
+    m_cold, ta_cold, app_cold, _ = append(False)
+    m_warm, ta_warm, app_warm, app_bases = append("auto")
+    assert np.allclose(m_cold, m_warm, atol=1e-9), (
+        "warm-started corpus append deviates from the cold sweep"
+    )
+
+    def reduction(cold, warm):
+        return round(cold["pivots_per_solve"] / max(warm["pivots_per_solve"], 1e-12), 3)
+
+    results = {
+        "solver": "network-simplex",
+        "windowed_sweep": {
+            "n_transitions": len(series) - 1,
+            "cold": sweep_cold, "warm": sweep_warm,
+            "cold_ms": round(t_cold * 1e3, 2),
+            "warm_ms": round(t_warm * 1e3, 2),
+            "pivot_reduction": reduction(sweep_cold, sweep_warm),
+            "wall_speedup": round(t_cold / t_warm, 3),
+            "basis_cache": sweep_bases,
+        },
+        "corpus_append": {
+            "n_base": fc["corpus_base"], "k_appended": fc["corpus_ext"],
+            "cold": app_cold, "warm": app_warm,
+            "cold_ms": round(ta_cold * 1e3, 2),
+            "warm_ms": round(ta_warm * 1e3, 2),
+            "pivot_reduction": reduction(app_cold, app_warm),
+            "wall_speedup": round(ta_cold / ta_warm, 3),
+            "basis_cache": app_bases,
+        },
+    }
+    for name in ("windowed_sweep", "corpus_append"):
+        section = results[name]
+        assert section["pivot_reduction"] >= 2.0, (
+            f"warm start cut {name} pivots/solve only "
+            f"{section['pivot_reduction']}x (need >= 2x)"
+        )
+        assert section["wall_speedup"] >= 0.8, (
+            f"warm start slowed the {name} wall clock down "
+            f"({section['wall_speedup']}x)"
+        )
+    rows = [
+        [
+            f"NS windowed sweep cold ({sweep_cold['pivots_per_solve']} pivots/solve)",
+            results["windowed_sweep"]["cold_ms"], "-",
+        ],
+        [
+            f"NS windowed sweep warm ({sweep_warm['pivots_per_solve']} pivots/solve)",
+            results["windowed_sweep"]["warm_ms"],
+            results["windowed_sweep"]["wall_speedup"],
+        ],
+        [
+            f"NS corpus append cold ({app_cold['pivots_per_solve']} pivots/solve)",
+            results["corpus_append"]["cold_ms"], "-",
+        ],
+        [
+            f"NS corpus append warm ({app_warm['pivots_per_solve']} pivots/solve)",
+            results["corpus_append"]["warm_ms"],
+            results["corpus_append"]["wall_speedup"],
+        ],
+    ]
+    return results, rows
 
 
 def run_experiment(verbose: bool = True, quick: bool = False) -> dict:
@@ -151,6 +330,9 @@ def run_experiment(verbose: bool = True, quick: bool = False) -> dict:
         "incremental corpus matrix deviates from the from-scratch sweep"
     )
 
+    # --- warm-started network simplex: cold vs warm pivots ----------- #
+    ns_results, ns_rows = _network_simplex_section(graph, cfg, verbose)
+
     results = {
         "quick": quick,
         "workload": {
@@ -183,6 +365,7 @@ def run_experiment(verbose: bool = True, quick: bool = False) -> dict:
             "pairs_from_scratch": (base_n + k) * (base_n + k - 1) // 2,
             "bit_identical": True,
         },
+        "network_simplex": ns_results,
         # Two vantage points on the unified hierarchy: the parallel engine
         # (parent-side caches idle — workers keep private hierarchies) and
         # the serial corpus engine (every counter live).
@@ -220,6 +403,7 @@ def run_experiment(verbose: bool = True, quick: bool = False) -> dict:
             results["corpus"]["incremental_ms"],
             results["corpus"]["incremental_speedup"],
         ],
+        *ns_rows,
     ]
     print_table(
         f"Persistent engine on n={graph.num_nodes}, T={len(series)}"
@@ -247,6 +431,12 @@ def run_experiment(verbose: bool = True, quick: bool = False) -> dict:
         n_base=base_n,
         k=k,
     )
+    record(
+        "engine",
+        "ns_warm_pivot_reduction",
+        results["network_simplex"]["windowed_sweep"]["pivot_reduction"],
+        n_transitions=results["network_simplex"]["windowed_sweep"]["n_transitions"],
+    )
     return results
 
 
@@ -262,6 +452,13 @@ def test_engine_bench(benchmark):
     # The persistent pool skips R-1 pool launches; allow generous noise
     # margin but it must not be meaningfully slower than per-call pools.
     assert results["series"]["persistent_speedup_vs_percall"] >= 0.8
+    # Warm-started network simplex: the basis cache must cut pivots per
+    # solve by >= 2x on both temporal-locality workloads (the run itself
+    # also asserts this plus the no-wall-clock-regression bound).
+    ns = results["network_simplex"]
+    assert ns["windowed_sweep"]["pivot_reduction"] >= 2.0
+    assert ns["corpus_append"]["pivot_reduction"] >= 2.0
+    assert ns["windowed_sweep"]["warm"]["warm_solves"] > 0
 
 
 if __name__ == "__main__":

@@ -92,7 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--solver",
         default="auto",
         choices=SOLVER_CHOICES,
-        help="SND reduced-problem solver ('auto' selects per instance)",
+        help="SND reduced-problem solver ('auto' selects per instance; 'network-simplex' warm-starts repeat solves from cached bases)",
     )
     dist.add_argument(
         "--window",
@@ -133,7 +133,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--solver",
         default="auto",
         choices=SOLVER_CHOICES,
-        help="SND reduced-problem solver ('auto' selects per instance)",
+        help="SND reduced-problem solver ('auto' selects per instance; 'network-simplex' warm-starts repeat solves from cached bases)",
     )
     dmat.add_argument(
         "--output",
@@ -314,12 +314,18 @@ def _print_cache_stats(stats: dict | None) -> None:
         print("# cache stats: no SND instance was used")
         return
     print("# cache stats (unified hierarchy)")
-    for layer in ("ground", "rows", "transitions"):
+    for layer in ("ground", "rows", "transitions", "bases"):
         s = stats[layer]
+        extra = (
+            f" (exact={s['exact_hits']} reverse={s['reverse_hits']} "
+            f"supplier={s['supplier_hits']})"
+            if layer == "bases"
+            else ""
+        )
         print(
             f"#   {layer:11s} hits={s['hits']} misses={s['misses']} "
             f"builds={s['builds']} evictions={s['evictions']} "
-            f"size={s['size']}/{s['maxsize']} bytes={s['nbytes']}"
+            f"size={s['size']}/{s['maxsize']} bytes={s['nbytes']}{extra}"
         )
     print(
         f"#   total bytes={stats['total_nbytes']} "

@@ -10,6 +10,10 @@ solvers are provided:
 * :func:`solve_mcf_cost_scaling` — Goldberg–Tarjan cost-scaling
   push-relabel (integer costs; the paper's CS2 role);
 * :func:`solve_transportation_simplex` — dense MODI transportation simplex;
+* :func:`solve_transportation_network_simplex` — sparse network simplex
+  with a warm-startable spanning-tree basis (block pivoting, strongly
+  feasible anti-cycling); the solver tier that exploits temporal locality
+  across nearly identical instances (sliding windows, corpus appends);
 * :func:`solve_transportation_lp` — :func:`scipy.optimize.linprog` reference
   (the paper's CPLEX role in Fig. 11).
 
@@ -27,8 +31,10 @@ measurements in ``benchmarks/README.md`` and ``docs/solvers.md``.
 """
 
 from repro.exceptions import ValidationError
+from repro.flow.basis import TransportBasis
 from repro.flow.cost_scaling import solve_mcf_cost_scaling
 from repro.flow.lp_reference import solve_transportation_lp
+from repro.flow.network_simplex import solve_transportation_network_simplex
 from repro.flow.problem import MinCostFlowProblem, TransportationProblem
 from repro.flow.sinkhorn import solve_transportation_sinkhorn
 from repro.flow.sinkhorn_hybrid import solve_transportation_sinkhorn_hybrid
@@ -38,12 +44,14 @@ from repro.flow.transport_simplex import solve_transportation_simplex
 __all__ = [
     "TransportationProblem",
     "MinCostFlowProblem",
+    "TransportBasis",
     "select_mcf_kernel",
     "select_transport_method",
     "solve_mcf_ssp",
     "solve_transportation_ssp",
     "solve_mcf_cost_scaling",
     "solve_transportation_simplex",
+    "solve_transportation_network_simplex",
     "solve_transportation_lp",
     "solve_transportation_sinkhorn",
     "solve_transportation_sinkhorn_hybrid",
@@ -73,6 +81,7 @@ AUTO_HYBRID_CELLS = 160_000
 _TRANSPORT_SOLVERS = {
     "ssp": solve_transportation_ssp,
     "simplex": solve_transportation_simplex,
+    "network-simplex": solve_transportation_network_simplex,
     "lp": solve_transportation_lp,
     "sinkhorn-hybrid": solve_transportation_sinkhorn_hybrid,
 }
@@ -83,6 +92,7 @@ def select_transport_method(
     n_consumers: int,
     *,
     hybrid_cells: int | None = AUTO_HYBRID_CELLS,
+    warm_basis: bool = False,
 ) -> str:
     """The ``method="auto"`` policy for dense transportation instances.
 
@@ -96,21 +106,33 @@ def select_transport_method(
     accuracy for scale. Pass ``hybrid_cells=None`` to keep the selection
     fully exact, or another cell count to move the approximation
     threshold.
+
+    With ``warm_basis=True`` the caller declares that a previous optimal
+    basis is available for this instance (temporal-locality workloads:
+    sliding windows, corpus appends). Warm hints only pay off inside the
+    basis-carrying backend, so every exact region above the tiny-instance
+    floor then routes to ``"network-simplex"``; instances past
+    ``hybrid_cells`` still escalate to the hybrid tier (whose restricted
+    exact solve consumes the basis itself).
     """
     cells = max(0, int(n_suppliers)) * max(0, int(n_consumers))
     if cells <= AUTO_SIMPLEX_CELLS:
         return "simplex"
-    if cells <= AUTO_SSP_CELLS:
-        return "ssp"
     if hybrid_cells is not None and cells > int(hybrid_cells):
         return "sinkhorn-hybrid"
+    if warm_basis:
+        return "network-simplex"
+    if cells <= AUTO_SSP_CELLS:
+        return "ssp"
     return "lp"
 
 
 def solve_transportation(problem: TransportationProblem, *, method: str = "ssp"):
     """Solve a (possibly unbalanced) transportation problem.
 
-    ``method`` is one of ``"ssp"`` (default), ``"simplex"``, ``"lp"``,
+    ``method`` is one of ``"ssp"`` (default), ``"simplex"``,
+    ``"network-simplex"`` (warm-startable sparse simplex — pass bases via
+    :func:`solve_transportation_network_simplex` directly), ``"lp"``,
     ``"sinkhorn-hybrid"`` (approximate: Sinkhorn-screened sparse exact
     solve with a certified error bound), or ``"auto"`` (size-based
     selection, :func:`select_transport_method` — exact below

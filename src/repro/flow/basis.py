@@ -1,0 +1,142 @@
+"""Spanning-tree bases of transportation problems.
+
+Both dense simplex backends — the MODI solver
+(:mod:`repro.flow.transport_simplex`) and the sparse network simplex
+(:mod:`repro.flow.network_simplex`) — maintain a *basis*: a set of
+``n + m - 1`` cells whose bipartite graph (suppliers 0..n-1, consumers
+n..n+m-1) forms a spanning tree. This module holds the representation and
+the validation/repair helpers they share:
+
+* :class:`TransportBasis` — an immutable cell set, cheap to cache
+  (``nbytes`` is exact, so :class:`repro.snd.cache.CacheManager` can
+  budget it) and cheap to remap: entries may be *local indices* of one
+  instance or *stable labels* (global node ids), which is how a basis
+  survives the trip between two different reduced SND instances.
+* :func:`repair_basis` — complete a degenerate cell set into a spanning
+  tree (union-find over the bipartite nodes), shared by the
+  northwest-corner initialiser and the warm-start import path.
+* :func:`validate_basis` — spanning-tree check used by property tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TransportBasis", "repair_basis", "validate_basis"]
+
+
+@dataclass(frozen=True)
+class TransportBasis:
+    """An immutable set of basis cells ``(rows[k], cols[k])``.
+
+    The coordinate space is caller-defined: solvers exchange *local
+    indices* into one instance's supplier/consumer axes, while the SND
+    basis cache stores *labels* (global graph-node ids, with bank bins
+    encoded as negative labels) so a basis can be re-anchored onto the
+    reduced instance of a *different* — but temporally nearby — state
+    pair.
+    """
+
+    rows: np.ndarray
+    cols: np.ndarray
+
+    def __post_init__(self) -> None:
+        rows = np.ascontiguousarray(np.asarray(self.rows, dtype=np.int64))
+        cols = np.ascontiguousarray(np.asarray(self.cols, dtype=np.int64))
+        if rows.shape != cols.shape or rows.ndim != 1:
+            raise ValueError(
+                f"basis rows/cols must be equal-length vectors, got "
+                f"{rows.shape} and {cols.shape}"
+            )
+        rows.setflags(write=False)
+        cols.setflags(write=False)
+        object.__setattr__(self, "rows", rows)
+        object.__setattr__(self, "cols", cols)
+
+    def __len__(self) -> int:
+        return int(self.rows.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        """Exact retained payload bytes (cache accounting)."""
+        return int(self.rows.nbytes + self.cols.nbytes)
+
+    def transpose(self) -> "TransportBasis":
+        """The basis of the role-swapped instance (suppliers <-> consumers).
+
+        A term ``EMD*(q, p)`` reduces to the transpose of the instance of
+        ``EMD*(p, q)`` — same node sets with roles swapped — so the stored
+        tree transposed is a structurally valid warm start for the
+        reversed term.
+        """
+        return TransportBasis(rows=self.cols, cols=self.rows)
+
+    def cells(self) -> list[tuple[int, int]]:
+        """The cells as a plain list of ``(row, col)`` tuples."""
+        return list(zip(self.rows.tolist(), self.cols.tolist()))
+
+
+def repair_basis(basis: set[tuple[int, int]], n: int, m: int) -> None:
+    """Complete *basis* in place into a spanning tree of ``n + m - 1`` cells.
+
+    Union-find over supplier nodes ``0..n-1`` and consumer nodes
+    ``n..n+m-1``; cells are added in row-major order until the bipartite
+    graph is connected. Existing cells that close cycles are left alone —
+    callers de-duplicate those before flow assignment.
+    """
+    parent = list(range(n + m))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: int, b: int) -> bool:
+        ra, rb = find(a), find(b)
+        if ra == rb:
+            return False
+        parent[ra] = rb
+        return True
+
+    for (i, j) in basis:
+        union(i, n + j)
+    for i in range(n):
+        for j in range(m):
+            if len(basis) >= n + m - 1:
+                return
+            if (i, j) not in basis and union(i, n + j):
+                basis.add((i, j))
+
+
+def validate_basis(cells, n: int, m: int) -> bool:
+    """``True`` iff *cells* form a spanning tree of the ``n x m`` instance.
+
+    Exactly ``n + m - 1`` distinct in-range cells, connected and acyclic
+    over the bipartite node set — the invariant every simplex pivot
+    preserves and every exported basis must satisfy.
+    """
+    cells = list(cells)
+    if len(cells) != n + m - 1:
+        return False
+    if len(set(cells)) != len(cells):
+        return False
+    parent = list(range(n + m))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for (i, j) in cells:
+        if not (0 <= i < n and 0 <= j < m):
+            return False
+        ri, rj = find(i), find(n + j)
+        if ri == rj:
+            return False  # cycle
+        parent[ri] = rj
+    roots = {find(x) for x in range(n + m)}
+    return len(roots) == 1

@@ -58,6 +58,8 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.exceptions import FlowError, ValidationError
+from repro.flow.basis import TransportBasis
+from repro.flow.network_simplex import solve_support_network_simplex
 from repro.flow.plan import TransportPlan
 from repro.flow.problem import MinCostFlowProblem, TransportationProblem
 from repro.flow.sinkhorn import sinkhorn_iterate
@@ -83,7 +85,7 @@ _EPS = 1e-12
 #: small reduced problems that dominate low-``n∆`` SND sweeps.
 SMALL_EXACT_CELLS = 4096
 
-_EXACT_BACKENDS = ("auto", "ssp", "lp")
+_EXACT_BACKENDS = ("auto", "ssp", "lp", "network-simplex")
 
 
 # --------------------------------------------------------------------- #
@@ -354,6 +356,28 @@ def _solve_support_lp(
     return plan
 
 
+def _solve_support_ns(
+    a: np.ndarray,
+    b: np.ndarray,
+    d: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    warm_cells: tuple[np.ndarray, np.ndarray] | None = None,
+) -> tuple[np.ndarray, tuple[np.ndarray, np.ndarray]]:
+    """Exact restricted solve on the warm-startable network simplex.
+
+    The screened support *is* a sparse min-cost flow, which makes the
+    hybrid tier the first consumer of the basis-carrying backend: the
+    warm cells (intersected with the support — the restricted problem is
+    identical to a cold solve, only the starting tree differs) seed the
+    spanning tree, and the optimal basis cells come back for the caller's
+    basis store.
+    """
+    return solve_support_network_simplex(
+        a, b, d, rows, cols, warm_cells=warm_cells, return_cells=True
+    )
+
+
 def _resolve_backend(exact_backend: str) -> str:
     if exact_backend not in _EXACT_BACKENDS:
         raise ValidationError(
@@ -383,7 +407,9 @@ def solve_transportation_sinkhorn_hybrid(
     max_iter: int = 1_000,
     tolerance: float = 1e-5,
     scaling_factor: float = 0.25,
-) -> TransportPlan:
+    warm_basis: TransportBasis | None = None,
+    return_basis: bool = False,
+) -> TransportPlan | tuple[TransportPlan, TransportBasis]:
     """Sinkhorn-screened sparse exact solve.
 
     Parameters
@@ -400,7 +426,9 @@ def solve_transportation_sinkhorn_hybrid(
         → tighter error, slower exact solve.
     exact_backend:
         Exact solver for the restricted problem: ``"ssp"`` (sparse
-        min-cost flow over support arcs), ``"lp"`` (sparse HiGHS), or
+        min-cost flow over support arcs), ``"lp"`` (sparse HiGHS),
+        ``"network-simplex"`` (warm-startable sparse simplex — the only
+        backend that consumes *warm_basis* / produces *return_basis*), or
         ``"auto"`` (LP when scipy is importable).
     max_iter, tolerance:
         Screening iteration budget (split across the ε-scaling stages)
@@ -415,10 +443,21 @@ def solve_transportation_sinkhorn_hybrid(
     is the exact optimum of the support-restricted problem — an upper
     bound on the true optimum, certified by ``screen_error_bound`` (see
     :func:`last_hybrid_info` / :data:`HYBRID_METRICS`).
+
+    *warm_basis* (original cell space) seeds the restricted solve's
+    spanning tree when the backend is ``"network-simplex"``; warm cells
+    are intersected with the screened support, so the solved problem —
+    and hence the plan and bound — is identical to a cold solve. With
+    ``return_basis=True`` the optimal basis comes back for caching.
     """
     if epsilon <= 0:
         raise FlowError(f"epsilon must be positive, got {epsilon}")
     backend = _resolve_backend(exact_backend)
+    if return_basis and backend != "network-simplex":
+        raise ValidationError(
+            "return_basis requires exact_backend='network-simplex', "
+            f"got {exact_backend!r}"
+        )
 
     balanced, dummy_consumer, dummy_supplier = problem.balanced_form()
     a_full = balanced.supplies
@@ -428,7 +467,11 @@ def solve_transportation_sinkhorn_hybrid(
     total = float(a_full.sum())
     if total <= 0:
         _record(HybridSolveInfo(exact_backend=backend))
-        return TransportPlan(flows=np.zeros(problem.costs.shape), cost=0.0)
+        plan = TransportPlan(flows=np.zeros(problem.costs.shape), cost=0.0)
+        if return_basis:
+            empty = np.empty(0, dtype=np.int64)
+            return plan, TransportBasis(rows=empty, cols=empty)
+        return plan
 
     # Lemma 1: restrict to positive-mass bins (empty bins break Sinkhorn
     # and cannot carry flow anyway).
@@ -442,11 +485,33 @@ def solve_transportation_sinkhorn_hybrid(
 
     k = resolve_support_k(support_k, n, m)
 
+    # Warm basis cells arrive in the original cell space; re-anchor them
+    # onto the positive-mass restriction (cells that fall outside it, or
+    # outside the screened support below, are simply ignored).
+    warm_local = None
+    if backend == "network-simplex" and warm_basis is not None and len(warm_basis):
+        inv_r = np.full(costs.shape[0], -1, dtype=np.int64)
+        inv_r[rows_ids] = np.arange(n)
+        inv_c = np.full(costs.shape[1], -1, dtype=np.int64)
+        inv_c[cols_ids] = np.arange(m)
+        br, bc = warm_basis.rows, warm_basis.cols
+        ok = (br >= 0) & (br < costs.shape[0]) & (bc >= 0) & (bc < costs.shape[1])
+        lr, lc = inv_r[br[ok]], inv_c[bc[ok]]
+        ok = (lr >= 0) & (lc >= 0)
+        if ok.any():
+            warm_local = (lr[ok], lc[ok])
+
+    ns_cells = None
     if n_cells <= SMALL_EXACT_CELLS or (k >= n and k >= m):
         # Nothing to prune: solve exactly on the full support.
         rr, cc = np.nonzero(np.ones((n, m), dtype=bool))
-        solve = _solve_support_lp if backend == "lp" else _solve_support_ssp
-        plan_s = solve(a_s, b_s, d_s, rr, cc)
+        if backend == "network-simplex":
+            plan_s, ns_cells = _solve_support_ns(
+                a_s, b_s, d_s, rr, cc, warm_cells=warm_local
+            )
+        else:
+            solve = _solve_support_lp if backend == "lp" else _solve_support_ssp
+            plan_s = solve(a_s, b_s, d_s, rr, cc)
         info = HybridSolveInfo(
             n_cells=n_cells,
             support_cells=n_cells,
@@ -494,8 +559,13 @@ def solve_transportation_sinkhorn_hybrid(
         rr, cc = np.nonzero(mask)
 
         # ---- exact solve restricted to the support ------------------- #
-        solve = _solve_support_lp if backend == "lp" else _solve_support_ssp
-        plan_s = solve(a_s, b_s, d_s, rr, cc)
+        if backend == "network-simplex":
+            plan_s, ns_cells = _solve_support_ns(
+                a_s, b_s, d_s, rr, cc, warm_cells=warm_local
+            )
+        else:
+            solve = _solve_support_lp if backend == "lp" else _solve_support_ssp
+            plan_s = solve(a_s, b_s, d_s, rr, cc)
 
         # ---- certified error bound via the repaired dual ------------- #
         cost_norm = float((plan_s * d_s).sum())
@@ -531,4 +601,15 @@ def solve_transportation_sinkhorn_hybrid(
         flows = flows[:-1, :]
     cost = float((flows * problem.costs).sum())
     _record(replace(info, cost=cost))
-    return TransportPlan(flows=flows, cost=cost)
+    plan = TransportPlan(flows=flows, cost=cost)
+    if return_basis:
+        if ns_cells is not None:
+            gr = rows_ids[ns_cells[0]]
+            gc = cols_ids[ns_cells[1]]
+            keep = (gr < problem.n_suppliers) & (gc < problem.n_consumers)
+            out_basis = TransportBasis(rows=gr[keep], cols=gc[keep])
+        else:
+            empty = np.empty(0, dtype=np.int64)
+            out_basis = TransportBasis(rows=empty, cols=empty)
+        return plan, out_basis
+    return plan

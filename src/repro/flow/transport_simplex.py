@@ -13,6 +13,7 @@ from collections import deque
 import numpy as np
 
 from repro.exceptions import FlowError
+from repro.flow.basis import TransportBasis, repair_basis
 from repro.flow.plan import TransportPlan
 from repro.flow.problem import TransportationProblem
 
@@ -22,14 +23,21 @@ _TOL = 1e-9
 
 
 def solve_transportation_simplex(
-    problem: TransportationProblem, *, max_iterations: int | None = None
-) -> TransportPlan:
+    problem: TransportationProblem,
+    *,
+    max_iterations: int | None = None,
+    return_basis: bool = False,
+) -> TransportPlan | tuple[TransportPlan, TransportBasis]:
     """Solve a (possibly unbalanced) transportation problem with MODI.
 
     The problem is balanced with a zero-cost dummy node first; the initial
     basis comes from the northwest-corner rule; pivoting uses Dantzig's rule
     with a Bland fallback after an iteration budget, which guards against
-    degenerate cycling.
+    degenerate cycling. With ``return_basis=True`` the final spanning-tree
+    basis (restricted to non-dummy cells) is returned alongside the plan —
+    the warm-start currency of the network-simplex backend
+    (:mod:`repro.flow.network_simplex`), with which this solver shares its
+    basis repair/validation helpers (:mod:`repro.flow.basis`).
     """
     balanced, dummy_consumer, dummy_supplier = problem.balanced_form()
     supplies = balanced.supplies
@@ -39,7 +47,11 @@ def solve_transportation_simplex(
 
     if n == 0 or m == 0 or balanced.total_supply <= _TOL:
         flows = np.zeros((problem.n_suppliers, problem.n_consumers))
-        return TransportPlan(flows=flows, cost=0.0)
+        plan = TransportPlan(flows=flows, cost=0.0)
+        if return_basis:
+            empty = np.empty(0, dtype=np.int64)
+            return plan, TransportBasis(rows=empty, cols=empty)
+        return plan
 
     flows, basis = _northwest_corner(supplies, demands)
     if max_iterations is None:
@@ -81,7 +93,14 @@ def solve_transportation_simplex(
         flows = flows[:-1, :]
     flows = np.maximum(flows, 0.0)  # clamp float dust from pivoting
     cost = float((flows * problem.costs).sum())
-    return TransportPlan(flows=flows, cost=cost)
+    plan = TransportPlan(flows=flows, cost=cost)
+    if return_basis:
+        n_orig, m_orig = problem.n_suppliers, problem.n_consumers
+        cells = sorted((i, j) for i, j in basis if i < n_orig and j < m_orig)
+        rows = np.asarray([i for i, _ in cells], dtype=np.int64)
+        cols = np.asarray([j for _, j in cells], dtype=np.int64)
+        return plan, TransportBasis(rows=rows, cols=cols)
+    return plan
 
 
 def _northwest_corner(
@@ -113,37 +132,10 @@ def _northwest_corner(
             i += 1
         else:
             j += 1
-    # Pad degenerate bases up to the spanning-tree size.
-    _repair_basis(basis, n, m)
+    # Pad degenerate bases up to the spanning-tree size (shared helper with
+    # the network-simplex backend).
+    repair_basis(basis, n, m)
     return flows, basis
-
-
-def _repair_basis(basis: set[tuple[int, int]], n: int, m: int) -> None:
-    """Ensure the basis forms a spanning tree (n + m - 1 connected cells)."""
-    # Union-find over supplier nodes 0..n-1 and consumer nodes n..n+m-1.
-    parent = list(range(n + m))
-
-    def find(x: int) -> int:
-        while parent[x] != x:
-            parent[x] = parent[parent[x]]
-            x = parent[x]
-        return x
-
-    def union(a: int, b: int) -> bool:
-        ra, rb = find(a), find(b)
-        if ra == rb:
-            return False
-        parent[ra] = rb
-        return True
-
-    for (i, j) in basis:
-        union(i, n + j)
-    for i in range(n):
-        for j in range(m):
-            if len(basis) >= n + m - 1:
-                return
-            if (i, j) not in basis and union(i, n + j):
-                basis.add((i, j))
 
 
 def _compute_duals(

@@ -129,7 +129,11 @@ class SNDService:
         graphs, series, and corpora to serve.
     clusters / solver / seed:
         SND construction knobs, applied uniformly to every shard
-        (mirrors the CLI's ``--clusters`` / ``--solver`` flags).
+        (mirrors the CLI's ``--clusters`` / ``--solver`` flags). With
+        ``solver="network-simplex"`` each shard's engine warm-starts
+        repeat solves from its shared basis cache, which pays off on
+        exactly the serving access patterns — repeated windows and
+        growing corpora (see :mod:`repro.flow.network_simplex`).
     jobs:
         Engine worker spelling for shards: ``"auto"`` (default — what
         the CLI engine commands historically used), an explicit count,

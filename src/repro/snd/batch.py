@@ -83,6 +83,9 @@ def _transient_engine(
         ground=cache if cache is not None else GroundCostCache(DEFAULT_CACHE_SIZE),
         rows=row_cache if row_cache is not None else DijkstraRowCache(),
         transitions=transitions if transitions is not None else TransitionCache(),
+        # Bases persist on the SND instance so repeated one-shot calls
+        # warm-start each other and the counters stay on `--cache-stats`.
+        bases=snd.caches.bases,
     )
     return SNDEngine(
         snd,

@@ -17,13 +17,21 @@ work at three levels:
    keyed by the ordered state-fingerprint pair. Sliding windows re-solve
    exactly one transition per shift; corpus extensions solve only the new
    pairs.
+4. **Optimal bases** (:class:`BasisCache`): spanning-tree bases of solved
+   EMD* terms, keyed by ``(supplier fingerprint, consumer fingerprint,
+   opinion)`` in stable node-label space. A cached basis warm-starts the
+   network-simplex solve of the *next*, nearly identical term (window
+   shift, corpus append) — the value caches above skip repeated solves,
+   the basis store accelerates the genuinely new ones.
 
 :class:`CacheManager` bundles one instance of each under a single,
 optional **shared memory budget** and one stats surface: when the total
 retained payload exceeds the budget, entries are evicted
 least-recently-used from whichever cache currently retains the most
-bytes, so one oversized layer cannot starve the others.  All three caches
-were historically defined in :mod:`repro.snd.batch`; that module re-exports
+bytes, so one oversized layer cannot starve the others (a basis entry is
+two int64 vectors — far heavier than a float transition value — and its
+``nbytes`` participate in the accounting).  The first three caches were
+historically defined in :mod:`repro.snd.batch`; that module re-exports
 them, so existing imports keep working.
 """
 
@@ -42,9 +50,11 @@ __all__ = [
     "DEFAULT_CACHE_SIZE",
     "DEFAULT_ROW_CACHE_SIZE",
     "DEFAULT_TRANSITION_CACHE_SIZE",
+    "DEFAULT_BASIS_CACHE_SIZE",
     "GroundCostCache",
     "DijkstraRowCache",
     "TransitionCache",
+    "BasisCache",
     "CacheManager",
 ]
 
@@ -63,6 +73,12 @@ DEFAULT_ROW_CACHE_SIZE = 256
 #: sliding-window sweeps reuse every previously solved transition.
 DEFAULT_TRANSITION_CACHE_SIZE = 65536
 
+#: Default bound on cached spanning-tree bases. A basis entry is two int64
+#: label vectors of roughly ``n_sup + n_con`` entries — orders of magnitude
+#: heavier than a transition float, so the default is deliberately small;
+#: temporal locality only needs the recent past.
+DEFAULT_BASIS_CACHE_SIZE = 512
+
 
 def _value_nbytes(value) -> int:
     """Approximate retained payload bytes of one cache entry."""
@@ -70,6 +86,9 @@ def _value_nbytes(value) -> int:
         return int(value.nbytes)
     if isinstance(value, float):
         return 8
+    nbytes = getattr(value, "nbytes", None)  # e.g. TransportBasis payloads
+    if isinstance(nbytes, (int, np.integer)):
+        return int(nbytes)
     return int(sys.getsizeof(value))
 
 
@@ -319,6 +338,99 @@ class TransitionCache(_LruCache):
         return self.hits
 
 
+class BasisCache(_LruCache):
+    """Bounded LRU store of optimal spanning-tree bases per EMD* term.
+
+    Keys are ``(supplier fingerprint, consumer fingerprint, opinion)``;
+    values are :class:`repro.flow.basis.TransportBasis` objects whose
+    entries are *stable labels* (global node ids, bank bins as negative
+    labels), so a basis cached for one term can be re-anchored onto the
+    reduced instance of a different, temporally nearby term.
+
+    :meth:`get_warm` resolves a hint through three channels, cheapest
+    first:
+
+    1. **exact** — the same term was solved before (replays);
+    2. **reverse** — the transposed term ``(consumer, supplier, opinion)``
+       was solved: the role-swapped tree (same node sets) transposes into
+       a structurally valid start — this warms terms 3/4 of a pair from
+       terms 1/2 within the *same* pair;
+    3. **supplier** — the most recent term with the same supplier state
+       and opinion: the previous window shift / corpus row, whose reduced
+       node sets overlap heavily on temporally local workloads.
+
+    Each channel has its own hit counter (``exact_hits`` etc.) so tests
+    and benchmarks can assert *which* locality actually fired; a
+    :meth:`get_warm` call counts exactly one hit or one miss. Since any
+    basis is merely a hint (the solver repairs it against the new
+    marginals), a stale or partially overlapping entry can never change a
+    result — only pivot counts.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_BASIS_CACHE_SIZE) -> None:
+        super().__init__(maxsize)
+        # (supplier fingerprint, opinion) -> most recent full key; stale
+        # references (evicted entries) are dropped lazily on lookup.
+        self._index: dict = {}
+        self.exact_hits = 0
+        self.reverse_hits = 0
+        self.supplier_hits = 0
+
+    def put_term(self, key: tuple, basis) -> None:
+        """Store the optimal basis of the term *key* (ordered key:
+        ``(fp_supplier, fp_consumer, opinion)``)."""
+        self._put(key, basis)
+        with self._lock:
+            self._index[(key[0], key[2])] = key
+
+    def get_warm(self, key: tuple):
+        """Best available warm-start hint for the term *key*, or ``None``."""
+        fp_sup, fp_con, opinion = key
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                self.exact_hits += 1
+                return entry
+            reverse_key = (fp_con, fp_sup, opinion)
+            entry = self._entries.get(reverse_key)
+            if entry is not None:
+                self._entries.move_to_end(reverse_key)
+                self.hits += 1
+                self.reverse_hits += 1
+                return entry.transpose()
+            near_key = self._index.get((fp_sup, opinion))
+            if near_key is not None:
+                entry = self._entries.get(near_key)
+                if entry is None:
+                    del self._index[(fp_sup, opinion)]  # evicted underneath
+                else:
+                    self._entries.move_to_end(near_key)
+                    self.hits += 1
+                    self.supplier_hits += 1
+                    return entry
+            self.misses += 1
+            return None
+
+    def stats(self) -> dict:
+        out = super().stats()
+        out["exact_hits"] = self.exact_hits
+        out["reverse_hits"] = self.reverse_hits
+        out["supplier_hits"] = self.supplier_hits
+        return out
+
+    def clear(self) -> None:
+        super().clear()
+        with self._lock:
+            self._index.clear()
+
+    def __getstate__(self):
+        state = super().__getstate__()
+        state["_index"] = {}  # entries don't travel, so neither does the index
+        return state
+
+
 class CacheManager:
     """One cache hierarchy for every SND entry point.
 
@@ -347,10 +459,12 @@ class CacheManager:
         ground_size: int = DEFAULT_CACHE_SIZE,
         row_size: int = DEFAULT_ROW_CACHE_SIZE,
         transition_size: int = DEFAULT_TRANSITION_CACHE_SIZE,
+        basis_size: int = DEFAULT_BASIS_CACHE_SIZE,
         memory_budget: int | None = None,
         ground: GroundCostCache | None = None,
         rows: DijkstraRowCache | None = None,
         transitions: TransitionCache | None = None,
+        bases: "BasisCache | None" = None,
     ) -> None:
         if memory_budget is not None and memory_budget < 1:
             raise ValidationError(
@@ -362,6 +476,7 @@ class CacheManager:
         self.transitions = (
             transitions if transitions is not None else TransitionCache(transition_size)
         )
+        self.bases = bases if bases is not None else BasisCache(basis_size)
         for cache in self._members():
             # Adopt unowned caches only: a cache already reporting to a
             # budgeted manager keeps doing so when a transient wrapper
@@ -370,7 +485,7 @@ class CacheManager:
                 cache._manager = self
 
     def _members(self) -> tuple[_LruCache, ...]:
-        return (self.ground, self.rows, self.transitions)
+        return (self.ground, self.rows, self.transitions, self.bases)
 
     @property
     def nbytes(self) -> int:
@@ -394,15 +509,17 @@ class CacheManager:
     def stats(self) -> dict:
         """Per-cache counters plus the hierarchy totals.
 
-        Keys ``ground`` / ``rows`` / ``transitions`` each map to the
-        member's :meth:`_LruCache.stats` dict (hits, misses, builds,
-        evictions, size, maxsize, nbytes); ``total_nbytes`` and
+        Keys ``ground`` / ``rows`` / ``transitions`` / ``bases`` each map
+        to the member's :meth:`_LruCache.stats` dict (hits, misses,
+        builds, evictions, size, maxsize, nbytes — the basis store adds
+        its per-channel warm-hit counters); ``total_nbytes`` and
         ``memory_budget`` summarise the shared budget.
         """
         return {
             "ground": self.ground.stats(),
             "rows": self.rows.stats(),
             "transitions": self.transitions.stats(),
+            "bases": self.bases.stats(),
             "total_nbytes": self.nbytes,
             "memory_budget": self.memory_budget,
         }
@@ -417,6 +534,7 @@ class CacheManager:
             "ground": self.ground,
             "rows": self.rows,
             "transitions": self.transitions,
+            "bases": self.bases,
         }
 
     def __setstate__(self, state):
@@ -424,6 +542,8 @@ class CacheManager:
         self.ground = state["ground"]
         self.rows = state["rows"]
         self.transitions = state["transitions"]
+        # Managers pickled before the basis store existed rebuild a default.
+        self.bases = state.get("bases") or BasisCache()
         for cache in self._members():
             if cache._manager is None:
                 cache._manager = self
@@ -431,6 +551,6 @@ class CacheManager:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"CacheManager(ground={len(self.ground)}, rows={len(self.rows)}, "
-            f"transitions={len(self.transitions)}, nbytes={self.nbytes}, "
-            f"budget={self.memory_budget})"
+            f"transitions={len(self.transitions)}, bases={len(self.bases)}, "
+            f"nbytes={self.nbytes}, budget={self.memory_budget})"
         )

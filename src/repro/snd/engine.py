@@ -52,6 +52,7 @@ from typing import Iterable, Iterator, Sequence
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.flow.network_simplex import SIMPLEX_METRICS
 from repro.flow.sinkhorn_hybrid import HYBRID_METRICS
 from repro.opinions.state import NEGATIVE, POSITIVE, NetworkState, StateSeries
 from repro.snd.cache import (
@@ -70,6 +71,13 @@ from repro.snd.scheduler import (  # noqa: F401 - re-exported for compat
 
 __all__ = ["SNDEngine", "Corpus", "StreamUpdate", "resolve_jobs"]
 
+#: Solvers whose per-term solves can consume a warm spanning-tree basis.
+#: ``use_basis_cache="auto"`` activates the basis store only for the pure
+#: network-simplex solver (value-neutral by the warm-exactness contract);
+#: ``use_basis_cache=True`` extends it to the sinkhorn-hybrid tier by
+#: routing its restricted exact solve through the network simplex.
+WARM_SOLVERS = ("network-simplex", "sinkhorn-hybrid")
+
 
 # --------------------------------------------------------------------- #
 # Single-pair evaluation through the caches
@@ -82,13 +90,19 @@ def _pair_distance(
     b: NetworkState,
     cache: GroundCostCache,
     row_cache=None,
+    basis_cache=None,
 ) -> float:
     """One Eq. 3 evaluation with ground costs drawn from *cache*.
 
     Term order and summation match :meth:`SND.evaluate` exactly so the
     result is bit-identical to the unbatched path; *row_cache* (optional)
     additionally reuses per-source Dijkstra rows across terms, which is
-    value-preserving (rows are per-source deterministic).
+    value-preserving (rows are per-source deterministic). *basis_cache*
+    (optional, warm-capable solvers only) keys each term's optimal
+    spanning-tree basis by ``(fingerprint_supplier, fingerprint_consumer,
+    opinion)`` so temporally adjacent pairs — window shifts, corpus
+    appends, the reverse terms of this very pair — warm-start the network
+    simplex; warm solves are exact, so this too is value-preserving.
     """
     ground, graph = snd.ground, snd.graph
     key_a, key_b = GroundCostCache.fingerprint(a), GroundCostCache.fingerprint(b)
@@ -97,21 +111,25 @@ def _pair_distance(
             a, b, POSITIVE,
             edge_costs=cache.edge_costs(ground, graph, a, POSITIVE),
             row_cache=row_cache, cost_key=(key_a, POSITIVE),
+            basis_cache=basis_cache, basis_key=(key_a, key_b, POSITIVE),
         ),
         snd.term(
             a, b, NEGATIVE,
             edge_costs=cache.edge_costs(ground, graph, a, NEGATIVE),
             row_cache=row_cache, cost_key=(key_a, NEGATIVE),
+            basis_cache=basis_cache, basis_key=(key_a, key_b, NEGATIVE),
         ),
         snd.term(
             b, a, POSITIVE,
             edge_costs=cache.edge_costs(ground, graph, b, POSITIVE),
             row_cache=row_cache, cost_key=(key_b, POSITIVE),
+            basis_cache=basis_cache, basis_key=(key_b, key_a, POSITIVE),
         ),
         snd.term(
             b, a, NEGATIVE,
             edge_costs=cache.edge_costs(ground, graph, b, NEGATIVE),
             row_cache=row_cache, cost_key=(key_b, NEGATIVE),
+            basis_cache=basis_cache, basis_key=(key_b, key_a, NEGATIVE),
         ),
     )
     return 0.5 * sum(terms)
@@ -152,8 +170,14 @@ def _attach_shared_memory(name: str):
             resource_tracker.register = original
 
 
-def _init_engine_worker(snd, shm_name, shape, ground_size, row_size) -> None:
-    """Attach this worker to the engine's shared state matrix (once)."""
+def _init_engine_worker(snd, shm_name, shape, ground_size, row_size, basis_size=0) -> None:
+    """Attach this worker to the engine's shared state matrix (once).
+
+    *row_size* and *basis_size* of 0 disable the respective worker-local
+    cache (the cache object still exists — content-keyed caches are
+    per-process, so a worker's basis store warms only solves dispatched
+    to that worker; chunk contiguity keeps related pairs together).
+    """
     if shm_name is None:
         matrix = shape  # no shared memory available: *shape* is the matrix
     else:
@@ -163,9 +187,12 @@ def _init_engine_worker(snd, shm_name, shape, ground_size, row_size) -> None:
     _ENGINE_WORKER["snd"] = snd
     _ENGINE_WORKER["matrix"] = matrix
     _ENGINE_WORKER["caches"] = CacheManager(
-        ground_size=ground_size, row_size=max(1, row_size)
+        ground_size=ground_size,
+        row_size=max(1, row_size),
+        basis_size=max(1, basis_size),
     )
     _ENGINE_WORKER["row_cache_enabled"] = row_size > 0
+    _ENGINE_WORKER["basis_cache_enabled"] = basis_size > 0
 
 
 def _engine_pairs_worker(pairs: list[tuple[int, int]]) -> list[float]:
@@ -180,6 +207,7 @@ def _engine_pairs_worker(pairs: list[tuple[int, int]]) -> list[float]:
     matrix = _ENGINE_WORKER["matrix"]
     caches: CacheManager = _ENGINE_WORKER["caches"]
     row_cache = caches.rows if _ENGINE_WORKER["row_cache_enabled"] else None
+    basis_cache = caches.bases if _ENGINE_WORKER["basis_cache_enabled"] else None
     local: dict[int, NetworkState] = {}
 
     def state(i: int) -> NetworkState:
@@ -190,7 +218,7 @@ def _engine_pairs_worker(pairs: list[tuple[int, int]]) -> list[float]:
         return s
 
     return [
-        _pair_distance(snd, state(i), state(j), caches.ground, row_cache)
+        _pair_distance(snd, state(i), state(j), caches.ground, row_cache, basis_cache)
         for i, j in pairs
     ]
 
@@ -246,6 +274,15 @@ class SNDEngine:
     use_row_cache:
         Reuse per-source Dijkstra rows across terms (on by default;
         value-preserving).
+    use_basis_cache:
+        Warm-start transportation solves from cached optimal bases.
+        ``"auto"`` (default) activates the basis store exactly when the
+        SND instance solves with ``"network-simplex"`` — the only solver
+        where a warm basis is consumed natively and provably
+        value-preserving. ``True`` additionally opts the
+        ``"sinkhorn-hybrid"`` tier in (its restricted exact solve is then
+        routed through the network simplex; same support, so certified
+        error bounds are unchanged). ``False`` disables warm-starting.
     max_pending:
         Bound on unique pairs the engine's scheduler will hold admitted
         at once (backpressure; see :class:`~repro.snd.scheduler.PairScheduler`).
@@ -269,18 +306,27 @@ class SNDEngine:
         executor: str = "process",
         caches: CacheManager | None = None,
         use_row_cache: bool = True,
+        use_basis_cache: "bool | str" = "auto",
         max_pending: int = DEFAULT_MAX_PENDING,
     ) -> None:
         if executor not in ("process", "thread"):
             raise ValidationError(
                 f"executor must be 'process' or 'thread', got {executor!r}"
             )
+        if use_basis_cache not in (True, False, "auto"):
+            raise ValidationError(
+                f"use_basis_cache must be True, False or 'auto', "
+                f"got {use_basis_cache!r}"
+            )
         self.snd = snd
         self.jobs = resolve_jobs(jobs)
         self.executor = executor
         self.caches = caches if caches is not None else snd.caches
         self.use_row_cache = use_row_cache
+        self.use_basis_cache = use_basis_cache
         self.pool_starts = 0
+        self.slot_writes = 0
+        self._slots: dict[bytes, int] = {}
         self._pool = None
         self._shm = None
         self._matrix: np.ndarray | None = None
@@ -322,6 +368,7 @@ class SNDEngine:
             except (FileNotFoundError, OSError):  # pragma: no cover - gone
                 pass
         self._capacity = 0
+        self._slots = {}
 
     def __enter__(self) -> "SNDEngine":
         return self
@@ -342,9 +389,23 @@ class SNDEngine:
     # ------------------------------------------------------------------ #
 
     def _ensure_process_pool(self, states: Sequence[NetworkState]):
-        """The persistent process pool, with *states* written into the
-        shared matrix rows ``0..len(states)`` (no tasks are in flight
-        between calls, so slot reuse can never race a reader)."""
+        """The persistent process pool plus a slot index for *states*.
+
+        Slot assignment is **append-only**: a state already resident in
+        the shared matrix (matched by content fingerprint) keeps its slot
+        and is not rewritten, so extending an ``N``-state corpus by ``k``
+        states writes ``k`` rows instead of ``N + k`` (``slot_writes``
+        counts actual row writes, which makes this assertable). When the
+        distinct-state population outgrows the matrix, only the slot
+        *map* is reset and rows are reassigned from slot 0 — the pool
+        survives. That is safe because dispatches fully drain before
+        returning (no task is in flight between calls, so a remapped slot
+        can never race a reader) and worker caches are content-keyed, so
+        remapping costs nothing but the row writes.
+
+        Returns ``(pool, slot_of)`` where ``slot_of[i]`` is the shared
+        matrix row now holding ``states[i]``.
+        """
         if self._closed:
             raise ValidationError("engine is closed")
         n, n_users = len(states), states[0].n
@@ -359,6 +420,7 @@ class SNDEngine:
         if self._pool is None:
             self._capacity = max(64, 2 * n)
             self._n_users = n_users
+            self._slots = {}
             shm_name = None
             shape = (self._capacity, n_users)
             try:
@@ -374,6 +436,9 @@ class SNDEngine:
                 self._matrix = np.zeros(shape, dtype=np.int8)
             ground_size = max(self.caches.ground.maxsize, 2 * self._capacity)
             row_size = self.caches.rows.maxsize if self.use_row_cache else 0
+            basis_size = (
+                self.caches.bases.maxsize if self._basis_cache() is not None else 0
+            )
             init_matrix = None if shm_name is not None else self._matrix
             self._pool = ProcessPoolExecutor(
                 max_workers=self.jobs,
@@ -384,12 +449,22 @@ class SNDEngine:
                     shape if shm_name is not None else init_matrix,
                     ground_size,
                     row_size,
+                    basis_size,
                 ),
             )
             self.pool_starts += 1
-        for k, s in enumerate(states):
-            self._matrix[k] = s.values
-        return self._pool
+        slots = self._slots
+        fingerprints = [GroundCostCache.fingerprint(s) for s in states]
+        fresh = [fp for fp in dict.fromkeys(fingerprints) if fp not in slots]
+        if len(slots) + len(fresh) > self._capacity:
+            slots.clear()  # out of rows: remap from slot 0, keep the pool
+        for fp, s in zip(fingerprints, states):
+            if fp not in slots:
+                slot = len(slots)
+                slots[fp] = slot
+                self._matrix[slot] = s.values
+                self.slot_writes += 1
+        return self._pool, [slots[fp] for fp in fingerprints]
 
     def _ensure_thread_pool(self):
         if self._closed:
@@ -406,9 +481,27 @@ class SNDEngine:
     def _row_cache(self):
         return self.caches.rows if self.use_row_cache else None
 
+    def _basis_cache(self):
+        """The engine's warm-start basis store, or ``None`` when inactive.
+
+        Activation is solver-gated (see ``use_basis_cache``): warm hints
+        are only consumed by :data:`WARM_SOLVERS`, and only the pure
+        network simplex qualifies under ``"auto"``.
+        """
+        mode = self.use_basis_cache
+        if mode is False:
+            return None
+        solver = getattr(self.snd, "solver", None)
+        active = (
+            solver == "network-simplex" if mode == "auto" else solver in WARM_SOLVERS
+        )
+        return self.caches.bases if active else None
+
     def _pair(self, a: NetworkState, b: NetworkState) -> float:
         """One serial pair evaluation through the engine caches."""
-        return _pair_distance(self.snd, a, b, self.caches.ground, self._row_cache())
+        return _pair_distance(
+            self.snd, a, b, self.caches.ground, self._row_cache(), self._basis_cache()
+        )
 
     def distance(self, a: NetworkState, b: NetworkState) -> float:
         """SND between two states through the engine's cache hierarchy."""
@@ -421,9 +514,11 @@ class SNDEngine:
     ) -> list[float]:
         """Serial in-process solve of index *pairs* over *states*."""
         row_cache = self._row_cache()
+        basis_cache = self._basis_cache()
         return [
             _pair_distance(
-                self.snd, states[i], states[j], self.caches.ground, row_cache
+                self.snd, states[i], states[j], self.caches.ground, row_cache,
+                basis_cache,
             )
             for i, j in pairs
         ]
@@ -444,18 +539,24 @@ class SNDEngine:
         if self.executor == "thread":
             pool = self._ensure_thread_pool()
             row_cache = self._row_cache()
+            basis_cache = self._basis_cache()
 
             def run(chunk: list[tuple[int, int]]) -> list[float]:
                 return [
                     _pair_distance(
-                        self.snd, states[i], states[j], self.caches.ground, row_cache
+                        self.snd, states[i], states[j], self.caches.ground, row_cache,
+                        basis_cache,
                     )
                     for i, j in chunk
                 ]
 
             return list(pool.map(run, chunks))
-        pool = self._ensure_process_pool(states)
-        return list(pool.map(_engine_pairs_worker, chunks))
+        pool, slot_of = self._ensure_process_pool(states)
+        # Translate caller indices to shared-matrix slots: append-only
+        # assignment means a state's slot is stable across dispatches, not
+        # necessarily equal to its position in *states*.
+        slot_chunks = [[(slot_of[i], slot_of[j]) for i, j in chunk] for chunk in chunks]
+        return list(pool.map(_engine_pairs_worker, slot_chunks))
 
     def _evaluate_pairs(
         self,
@@ -639,21 +740,31 @@ class SNDEngine:
         JSON-ready).
 
         The ``"hybrid"`` block aggregates the sinkhorn-hybrid solver's
-        per-solve diagnostics (support density, certified error bounds).
-        It is process-local: serial and thread executors are covered
+        per-solve diagnostics (support density, certified error bounds);
+        the ``"network_simplex"`` block aggregates the warm-startable
+        simplex tier's pivot counters, split cold vs warm
+        (``cold_pivots_per_solve`` / ``warm_pivots_per_solve`` — the
+        headline temporal-locality numbers in ``BENCH_engine.json``).
+        Both are process-local: serial and thread executors are covered
         fully; process workers accumulate in-worker and this snapshot
         then only reflects solves that ran in the engine's own process.
+        ``slot_writes`` counts shared-matrix row writes — append-only
+        slot assignment keeps it at the number of *distinct* states ever
+        dispatched, not dispatches times states.
         """
         return {
             "caches": self.caches.stats(),
             "scheduler": self.scheduler.stats(),
             "hybrid": HYBRID_METRICS.snapshot(),
+            "network_simplex": SIMPLEX_METRICS.snapshot(),
             "jobs": self.jobs,
             "executor": self.executor,
             "pool_starts": self.pool_starts,
             "pool_alive": self._pool is not None,
             "shared_memory": self._shm is not None,
             "capacity": self._capacity,
+            "slot_writes": self.slot_writes,
+            "basis_cache_active": self._basis_cache() is not None,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -42,6 +42,8 @@ import numpy as np
 from repro.emd.reduction import reduced_problem_profile
 from repro.exceptions import ValidationError
 from repro.flow import select_transport_method, solve_mcf_cost_scaling, solve_mcf_ssp
+from repro.flow.basis import TransportBasis
+from repro.flow.network_simplex import last_network_simplex_info
 from repro.flow.problem import MinCostFlowProblem
 from repro.flow.sinkhorn_hybrid import last_hybrid_info
 from repro.graph.digraph import DiGraph
@@ -57,7 +59,18 @@ _EPS = 1e-12
 #: :class:`repro.snd.snd.SND`). ``"auto"`` selects per reduced instance
 #: (and routes very large reduced instances to the approximate
 #: ``"sinkhorn-hybrid"`` tier — see :data:`repro.flow.AUTO_HYBRID_CELLS`).
-SOLVER_CHOICES = ("auto", "ssp", "cost-scaling", "lp", "simplex", "sinkhorn-hybrid")
+#: ``"network-simplex"`` is the warm-startable sparse simplex: paired with
+#: a :class:`repro.snd.cache.BasisCache` it reuses the previous optimal
+#: spanning tree across temporally local solves.
+SOLVER_CHOICES = (
+    "auto",
+    "ssp",
+    "cost-scaling",
+    "lp",
+    "simplex",
+    "network-simplex",
+    "sinkhorn-hybrid",
+)
 
 
 @dataclass
@@ -78,6 +91,10 @@ class FastTermStats:
     support_density: float = 1.0
     #: Certified relative-error bound of the hybrid solve (0.0 for exact).
     screen_error_bound: float = 0.0
+    #: Simplex pivots of the network-simplex solve (0 for other solvers).
+    pivots: int = 0
+    #: Whether the network-simplex solve started from a cached warm basis.
+    warm_start: bool = False
 
 
 def _min_distance_from_set(
@@ -190,6 +207,8 @@ def emd_star_term_fast(
     bank_shares: str = "mass",
     row_cache=None,
     cost_key=None,
+    basis_cache=None,
+    basis_key=None,
     stats: FastTermStats | None = None,
 ) -> float:
     """One EMD* term of Eq. 3 via the Theorem 4 reduction.
@@ -218,6 +237,15 @@ def emd_star_term_fast(
         Optional :class:`~repro.snd.cache.DijkstraRowCache` plus the
         content key of *edge_costs* (state fingerprint, opinion); per-source
         Dijkstra rows are then reused across terms sharing the key.
+    basis_cache, basis_key:
+        Optional :class:`~repro.snd.cache.BasisCache` plus this term's key
+        ``(supplier fingerprint, consumer fingerprint, opinion)``. Only
+        consulted when the (resolved) solver is ``"network-simplex"`` or
+        ``"sinkhorn-hybrid"``: the nearest cached basis (same term,
+        transposed term, or previous term with the same supplier state)
+        warm-starts the solve, and the fresh optimal basis is stored back
+        in stable node-label space. Values are unaffected — a warm basis
+        only changes where pivoting starts.
     """
     if bank_metric not in ("nearest", "cluster"):
         raise ValidationError(
@@ -357,11 +385,13 @@ def emd_star_term_fast(
         stats.n_arcs = 0
         stats.density = profile["density"]
 
-    if solver in ("lp", "simplex", "sinkhorn-hybrid"):
+    if solver in ("lp", "simplex", "network-simplex", "sinkhorn-hybrid"):
         # Dense bank-folded transportation problem — the fast choice for
         # large n∆ where per-augmentation overhead dominates the MCF path.
         # "sinkhorn-hybrid" rides the same folding and trades a certified
-        # relative error for scale on very large reduced instances.
+        # relative error for scale on very large reduced instances;
+        # "network-simplex" additionally threads warm bases through the
+        # basis cache when one is supplied.
         cost = _solve_reduced_dense(
             sup_amounts,
             con_amounts,
@@ -372,6 +402,10 @@ def emd_star_term_fast(
             active_bank_clusters,
             banks_on_demand_side,
             method=solver,
+            sup_ids=sup_ids,
+            con_ids=con_ids,
+            basis_cache=basis_cache,
+            basis_key=basis_key,
         )
         if stats is not None:
             stats.cost = float(cost)
@@ -380,6 +414,13 @@ def emd_star_term_fast(
                 if info is not None:
                     stats.support_density = float(info.support_density)
                     stats.screen_error_bound = float(info.screen_error_bound)
+            if solver == "network-simplex" or (
+                solver == "sinkhorn-hybrid" and basis_cache is not None
+            ):
+                ns_info = last_network_simplex_info()
+                if ns_info is not None:
+                    stats.pivots = int(ns_info.pivots)
+                    stats.warm_start = bool(ns_info.warm)
         return float(cost)
 
     # ---- build the hub-expanded min-cost-flow instance ---------------- #
@@ -446,6 +487,31 @@ def emd_star_term_fast(
     return float(solution.cost)
 
 
+def _map_labeled_basis(
+    basis: TransportBasis, row_labels: np.ndarray, col_labels: np.ndarray
+) -> TransportBasis | None:
+    """Re-anchor a label-space basis onto one instance's local indices.
+
+    Cells survive only when *both* labels exist in the new instance —
+    which is exactly the temporal-locality overlap the warm start
+    exploits. Returns ``None`` when nothing survives (a cold solve)."""
+    ridx = {int(label): i for i, label in enumerate(row_labels)}
+    cidx = {int(label): j for j, label in enumerate(col_labels)}
+    rows: list[int] = []
+    cols: list[int] = []
+    for label_r, label_c in zip(basis.rows, basis.cols):
+        i = ridx.get(int(label_r))
+        j = cidx.get(int(label_c))
+        if i is not None and j is not None:
+            rows.append(i)
+            cols.append(j)
+    if not rows:
+        return None
+    return TransportBasis(
+        rows=np.asarray(rows, dtype=np.int64), cols=np.asarray(cols, dtype=np.int64)
+    )
+
+
 def _solve_reduced_dense(
     sup_amounts: np.ndarray,
     con_amounts: np.ndarray,
@@ -457,20 +523,35 @@ def _solve_reduced_dense(
     banks_on_demand_side: bool,
     *,
     method: str = "lp",
+    sup_ids: np.ndarray | None = None,
+    con_ids: np.ndarray | None = None,
+    basis_cache=None,
+    basis_key=None,
 ) -> float:
     """Solve the reduced problem as one dense transportation instance.
 
     Bank bins are appended as extra consumers (or suppliers); the hub
     decomposition is folded back into per-pair costs ``leg + γ``. The
     instance is handed to :func:`repro.flow.solve_transportation` with
-    *method* (``"lp"`` — HiGHS —, ``"simplex"`` — MODI —, or
-    ``"sinkhorn-hybrid"`` — approximate screened solve).
+    *method* (``"lp"`` — HiGHS —, ``"simplex"`` — MODI —,
+    ``"network-simplex"`` — warm-startable —, or ``"sinkhorn-hybrid"`` —
+    approximate screened solve).
+
+    When a *basis_cache*/*basis_key* pair is supplied and the method can
+    carry a basis, the instance's axes are labelled with stable ids
+    (global supplier/consumer node ids; bank bins as negative labels
+    ``-(1 + cluster·nb + bin)``), the nearest cached basis is re-anchored
+    onto those labels to warm-start the solve, and the optimal basis is
+    stored back under the term key.
     """
     from repro.flow import solve_transportation
+    from repro.flow.network_simplex import solve_transportation_network_simplex
     from repro.flow.problem import TransportationProblem
+    from repro.flow.sinkhorn_hybrid import solve_transportation_sinkhorn_hybrid
 
     bank_cols: list[np.ndarray] = []
     bank_amounts: list[float] = []
+    bank_labels: list[int] = []
     nb = bank_caps.shape[1] if bank_caps.size else 0
     for c in active_bank_clusters:
         leg = bank_leg[int(c)]
@@ -480,6 +561,7 @@ def _solve_reduced_dense(
                 continue
             bank_cols.append(leg + float(gamma[c, j]))
             bank_amounts.append(cap)
+            bank_labels.append(-(1 + int(c) * nb + j))
 
     if banks_on_demand_side:
         supplies = sup_amounts
@@ -499,7 +581,48 @@ def _solve_reduced_dense(
     if supplies.size == 0 or demands.size == 0:
         return 0.0
     problem = TransportationProblem(supplies, demands, costs)
-    return float(solve_transportation(problem, method=method).cost)
+
+    use_basis = (
+        basis_cache is not None
+        and basis_key is not None
+        and sup_ids is not None
+        and con_ids is not None
+        and method in ("network-simplex", "sinkhorn-hybrid")
+    )
+    if not use_basis:
+        return float(solve_transportation(problem, method=method).cost)
+
+    bank_label_arr = np.asarray(bank_labels, dtype=np.int64)
+    if banks_on_demand_side:
+        row_labels = np.asarray(sup_ids, dtype=np.int64)
+        col_labels = np.concatenate([np.asarray(con_ids, dtype=np.int64), bank_label_arr])
+    else:
+        row_labels = np.concatenate([np.asarray(sup_ids, dtype=np.int64), bank_label_arr])
+        col_labels = np.asarray(con_ids, dtype=np.int64)
+
+    warm = basis_cache.get_warm(basis_key)
+    warm_local = (
+        _map_labeled_basis(warm, row_labels, col_labels) if warm is not None else None
+    )
+    if method == "network-simplex":
+        plan, out_basis = solve_transportation_network_simplex(
+            problem, basis=warm_local, return_basis=True
+        )
+    else:
+        plan, out_basis = solve_transportation_sinkhorn_hybrid(
+            problem,
+            exact_backend="network-simplex",
+            warm_basis=warm_local,
+            return_basis=True,
+        )
+    if len(out_basis):
+        basis_cache.put_term(
+            basis_key,
+            TransportBasis(
+                rows=row_labels[out_basis.rows], cols=col_labels[out_basis.cols]
+            ),
+        )
+    return float(plan.cost)
 
 
 def _solve_scaled_integer(mcf: MinCostFlowProblem):

@@ -38,6 +38,13 @@ Exactness contract: the scheduler changes *when* and *how often* pairs
 are solved, never *how* — every solve runs the engine's unchanged
 per-pair pipeline, so values are bit-identical to the naive loop, and
 coalesced requests receive the exact float the single solve produced.
+Warm-start locality rides the same dispatch path for free: each
+dispatched pair runs through the engine's shared
+:class:`~repro.snd.cache.BasisCache`, so a pair temporally adjacent to an
+earlier one (window shift, corpus append, the reverse terms of the same
+pair) reuses its optimal spanning-tree basis inside the network-simplex
+solver — contiguous chunking keeps those related pairs on the same
+worker, where the per-process basis store can see them.
 """
 
 from __future__ import annotations

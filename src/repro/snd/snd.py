@@ -84,10 +84,12 @@ class SND:
         Heap for the python engine: ``"binary"``, ``"radix"``, ``"pairing"``.
     solver:
         Reduced-problem solver: ``"ssp"`` (default), ``"cost-scaling"``,
-        ``"lp"``, ``"simplex"``, ``"sinkhorn-hybrid"`` (approximate, with
-        a certified per-solve error bound), or ``"auto"`` (per-instance
-        size-based selection; large reduced instances route to the hybrid
-        tier).
+        ``"lp"``, ``"simplex"``, ``"network-simplex"`` (warm-startable
+        sparse simplex; the engine threads cached bases through it on
+        temporally local workloads), ``"sinkhorn-hybrid"`` (approximate,
+        with a certified per-solve error bound), or ``"auto"``
+        (per-instance size-based selection; large reduced instances route
+        to the hybrid tier).
 
     Examples
     --------
@@ -173,6 +175,8 @@ class SND:
         edge_costs: np.ndarray | None = None,
         row_cache: DijkstraRowCache | None = None,
         cost_key=None,
+        basis_cache=None,
+        basis_key=None,
         stats: FastTermStats | None = None,
     ) -> float:
         """One EMD* term: mass of *opinion* moving from *supplier_state*'s
@@ -185,7 +189,11 @@ class SND:
         *row_cache* / *cost_key* (the batch engine's ``(state fingerprint,
         opinion)`` content key for *edge_costs*) additionally reuse
         per-source Dijkstra rows across terms — value-preserving, see
-        :class:`~repro.snd.cache.DijkstraRowCache`.
+        :class:`~repro.snd.cache.DijkstraRowCache`. *basis_cache* /
+        *basis_key* (the term's ``(supplier fingerprint, consumer
+        fingerprint, opinion)`` key) thread spanning-tree warm starts
+        through basis-carrying solvers — also value-preserving, see
+        :class:`~repro.snd.cache.BasisCache`.
         """
         self._check_state(supplier_state)
         self._check_state(consumer_state)
@@ -205,6 +213,8 @@ class SND:
             bank_shares=self.bank_shares,
             row_cache=row_cache,
             cost_key=cost_key,
+            basis_cache=basis_cache,
+            basis_key=basis_key,
             stats=stats,
         )
 

@@ -8,6 +8,10 @@ costs) — are solved by every exact solver in the library:
 * ``solve_transportation_ssp`` under all three Dijkstra kernels
   (``heap`` / ``vector`` / ``argmin``),
 * ``solve_transportation_simplex`` (MODI),
+* ``solve_transportation_network_simplex`` (warm-startable sparse
+  simplex — solved cold *and* re-solved warm from its own optimal basis,
+  asserting the warm result is bitwise identical on fully integral
+  instances and within ``AGREE_TOL`` otherwise),
 * ``solve_transportation_lp`` (HiGHS reference),
 * ``solve_mcf_cost_scaling`` (on the bipartite MCF form; integer
   instances only),
@@ -42,6 +46,7 @@ from repro.flow import (
     solve_mcf_ssp,
     solve_transportation,
     solve_transportation_lp,
+    solve_transportation_network_simplex,
     solve_transportation_simplex,
     solve_transportation_ssp,
 )
@@ -248,6 +253,10 @@ def check_transportation_instance(problem: TransportationProblem) -> None:
     plans["simplex"] = solve_transportation_simplex(problem)
     plans["lp"] = solve_transportation_lp(problem)
     plans["auto"] = solve_transportation(problem, method="auto")
+    ns_cold, ns_basis = solve_transportation_network_simplex(
+        problem, return_basis=True
+    )
+    plans["network-simplex"] = ns_cold
 
     integral = bool(
         np.allclose(problem.costs, np.round(problem.costs))
@@ -270,6 +279,20 @@ def check_transportation_instance(problem: TransportationProblem) -> None:
         assert cs_cost == pytest.approx(reference, abs=AGREE_TOL * scale), (
             f"cost-scaling disagrees with lp_reference: {cs_cost} vs {reference}"
         )
+
+    # Warm-vs-cold exactness: re-solving from the cold solve's own optimal
+    # basis only changes the *starting tree*, never the optimum. Fully
+    # integral instances must reproduce the cold plan bitwise (all simplex
+    # arithmetic stays on integers); float instances agree to AGREE_TOL.
+    ns_warm = solve_transportation_network_simplex(problem, basis=ns_basis)
+    if integral:
+        assert ns_warm.cost == ns_cold.cost, "warm NS cost not bitwise equal"
+        assert np.array_equal(ns_warm.flows, ns_cold.flows), (
+            "warm NS plan not bitwise equal on integral instance"
+        )
+    else:
+        assert ns_warm.cost == pytest.approx(ns_cold.cost, abs=AGREE_TOL * scale)
+        assert_transportation_plan_optimal(problem, ns_warm, label="ns-warm")
 
 
 def check_mcf_instance(mcf_factory) -> None:

@@ -6,10 +6,11 @@ import numpy as np
 import pytest
 
 from repro.exceptions import ValidationError
+from repro.flow.basis import TransportBasis
 from repro.graph.generators import erdos_renyi_graph
 from repro.opinions.state import NetworkState
 from repro.snd import SND, CacheManager, GroundCostCache, TransitionCache
-from repro.snd.cache import DijkstraRowCache
+from repro.snd.cache import BasisCache, DijkstraRowCache, _value_nbytes
 
 
 @pytest.fixture(scope="module")
@@ -44,7 +45,8 @@ class TestCacheManager:
         manager.ground.edge_costs(snd.ground, graph, state, 1)
         stats = manager.stats()
         assert set(stats) == {
-            "ground", "rows", "transitions", "total_nbytes", "memory_budget",
+            "ground", "rows", "transitions", "bases", "total_nbytes",
+            "memory_budget",
         }
         assert stats["ground"]["hits"] == 1
         assert stats["ground"]["misses"] == stats["ground"]["builds"] == 1
@@ -153,3 +155,108 @@ class TestCounters:
         assert cache.nbytes == row.nbytes
         cache.evict_oldest()
         assert cache.nbytes == 0
+
+
+def _basis(k: int, size: int = 8) -> TransportBasis:
+    return TransportBasis(
+        rows=np.arange(size) + k, cols=np.arange(size) + 2 * k
+    )
+
+
+class TestBasisCache:
+    def test_exact_channel(self):
+        cache = BasisCache()
+        cache.put_term((b"a", b"b", 1), _basis(0))
+        hit = cache.get_warm((b"a", b"b", 1))
+        assert hit is not None and hit.cells() == _basis(0).cells()
+        assert cache.exact_hits == 1 and cache.hits == 1 and cache.misses == 0
+
+    def test_reverse_channel_transposes(self):
+        cache = BasisCache()
+        cache.put_term((b"a", b"b", 1), _basis(3))
+        hit = cache.get_warm((b"b", b"a", 1))
+        assert hit is not None
+        assert hit.cells() == _basis(3).transpose().cells()
+        assert cache.reverse_hits == 1 and cache.exact_hits == 0
+
+    def test_supplier_channel_most_recent(self):
+        cache = BasisCache()
+        cache.put_term((b"s", b"old", 1), _basis(1))
+        cache.put_term((b"s", b"new", 1), _basis(2))
+        # Different consumer, same supplier + opinion: most recent wins.
+        hit = cache.get_warm((b"s", b"other", 1))
+        assert hit is not None and hit.cells() == _basis(2).cells()
+        assert cache.supplier_hits == 1
+        # Opinion is part of the index key: no cross-opinion leakage.
+        assert cache.get_warm((b"s", b"other", -1)) is None
+        assert cache.misses == 1
+
+    def test_one_hit_or_miss_per_lookup(self):
+        cache = BasisCache()
+        cache.put_term((b"a", b"b", 1), _basis(0))
+        cache.get_warm((b"a", b"b", 1))   # exact
+        cache.get_warm((b"b", b"a", 1))   # reverse
+        cache.get_warm((b"a", b"x", 1))   # supplier
+        cache.get_warm((b"z", b"x", 1))   # miss
+        assert cache.hits == 3 and cache.misses == 1
+        assert (
+            cache.exact_hits + cache.reverse_hits + cache.supplier_hits
+            == cache.hits
+        )
+
+    def test_stale_index_dropped_after_eviction(self):
+        cache = BasisCache(maxsize=1)
+        cache.put_term((b"a", b"b", 1), _basis(0))
+        cache.put_term((b"c", b"d", 1), _basis(1))  # evicts (a, b, 1)
+        assert cache.get_warm((b"a", b"x", 1)) is None  # stale index entry
+        assert (b"a", 1) not in cache._index
+        assert cache.get_warm((b"c", b"x", 1)) is not None
+
+    def test_value_nbytes_counts_basis_payload(self):
+        basis = _basis(0, size=16)
+        assert _value_nbytes(basis) == basis.nbytes == 2 * 16 * 8
+
+    def test_nbytes_accounting(self):
+        cache = BasisCache(maxsize=4)
+        cache.put_term((b"a", b"b", 1), _basis(0, size=16))
+        assert cache.nbytes == 2 * 16 * 8
+        cache.put_term((b"a", b"b", 1), _basis(1, size=4))  # overwrite
+        assert cache.nbytes == 2 * 4 * 8
+
+    def test_memory_budget_includes_bases(self):
+        """Satellite contract: basis payloads participate in the shared
+        budget, and the biggest-cache-first rule evicts the heavy basis
+        store before starving the tiny transition floats."""
+        basis_bytes = _basis(0, size=64).nbytes
+        manager = CacheManager(memory_budget=3 * basis_bytes)
+        for k in range(8):
+            manager.bases.put_term((b"s%d" % k, b"c", 1), _basis(k, size=64))
+        assert manager.bases.stats()["evictions"] >= 5
+        assert manager.nbytes <= 3 * basis_bytes
+        # Tiny transition entries survive while bases are evicted.
+        state_b = NetworkState.from_active_sets(40, positive=[1])
+        for k in range(6):
+            manager.transitions.put(
+                NetworkState.from_active_sets(40, positive=[k]), state_b, float(k)
+            )
+        for k in range(8, 12):
+            manager.bases.put_term((b"s%d" % k, b"c", 1), _basis(k, size=64))
+        assert manager.transitions.stats()["evictions"] == 0
+        assert manager.bases.stats()["evictions"] >= 8
+
+    def test_pickle_resets_entries_and_index(self):
+        cache = BasisCache(maxsize=7)
+        cache.put_term((b"a", b"b", 1), _basis(0))
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.maxsize == 7
+        assert len(clone) == 0 and clone._index == {}
+        assert clone.get_warm((b"a", b"b", 1)) is None
+        clone.put_term((b"a", b"b", 1), _basis(1))
+        assert clone.get_warm((b"a", b"x", 1)) is not None
+
+    def test_clear_resets_index(self):
+        cache = BasisCache()
+        cache.put_term((b"a", b"b", 1), _basis(0))
+        cache.clear()
+        assert cache._index == {}
+        assert cache.get_warm((b"a", b"x", 1)) is None
