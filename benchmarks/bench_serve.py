@@ -18,6 +18,15 @@ store), writing ``benchmarks/BENCH_serve.json``:
   never re-solves a duplicate.
 * **Latency distribution.** Per-request wall times are recorded
   client-side; the JSON reports sustained req/s plus p50/p99 latency.
+* **Warm restart.** The trace's unique pairs are replayed cold (fresh
+  server, persistence on), the server is torn down, and a brand-new
+  server over the same store replays them again — asserted to finish
+  with ``solved == 0`` (every answer came from the spilled transition
+  cache) and reported as a cold/warm speedup.
+* **Fairness.** With ``client_max_pending=1``, four greedy connections
+  flood cold solves under one ``X-Client`` identity while a polite
+  identity replays cache-warm pairs: the greedy identity must collect
+  429s and the polite identity must see nothing but 200s.
 
 ``--quick`` shrinks the workload for CI (same assertions, smaller graph).
 """
@@ -38,7 +47,7 @@ import numpy as np
 from common import print_table, record
 from repro.graph.generators import powerlaw_configuration_graph
 from repro.opinions.dynamics import generate_series
-from repro.serve import SNDService
+from repro.serve import EngineConfig, SNDService
 from repro.serve.http import BackgroundServer
 from repro.store import ExperimentStore
 
@@ -112,7 +121,7 @@ def _client(host, port, requests, latencies, errors) -> None:
             body = json.dumps({"name": "t", "i": i, "j": j})
             t0 = time.perf_counter()
             conn.request(
-                "POST", "/distance", body, {"Content-Type": "application/json"}
+                "POST", "/v1/distance", body, {"Content-Type": "application/json"}
             )
             resp = conn.getresponse()
             payload = resp.read()
@@ -123,6 +132,145 @@ def _client(host, port, requests, latencies, errors) -> None:
         errors.append(exc)
     finally:
         conn.close()
+
+
+def _timed_replay(server, pairs) -> tuple[float, list]:
+    """Replay *pairs* sequentially over one keep-alive connection,
+    returning (wall seconds, errors)."""
+    errors: list = []
+    latencies: list[float] = []
+    t0 = time.perf_counter()
+    _client(server.host, server.port, pairs, latencies, errors)
+    return time.perf_counter() - t0, errors
+
+
+def _bench_warm_restart(store_path, trace, verbose) -> dict:
+    """Kill-and-restart robustness: a fresh server over the same store
+    answers the identical trace from the persisted transition cache with
+    zero fresh solves."""
+    config = EngineConfig(clusters=8, persist_transitions=True)
+    unique = sorted(set(trace))
+    with BackgroundServer(SNDService(store_path, config=config)) as server:
+        cold_wall, errors = _timed_replay(server, unique)
+        assert not errors, f"cold replay hit errors: {errors[:3]}"
+    # The context exit tore the server down, flushing the cache to the
+    # store's transition_cache table on the way out.
+    with BackgroundServer(SNDService(store_path, config=config)) as server:
+        warm_wall, errors = _timed_replay(server, unique)
+        assert not errors, f"warm replay hit errors: {errors[:3]}"
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=60)
+        conn.request("GET", "/v1/stats")
+        stats = json.loads(conn.getresponse().read())
+        conn.close()
+    shard = stats["shards"]["t"]
+    sched = shard["scheduler"]
+    assert sched["solved"] == 0, (
+        f"warm restart re-solved {sched['solved']} pairs; the persisted "
+        f"transition cache should have answered the whole trace"
+    )
+    assert sched["cache_answered"] == len(unique)
+    assert shard["transitions_loaded"] > 0
+    result = {
+        "requests": len(unique),
+        "cold_wall_s": round(cold_wall, 3),
+        "warm_wall_s": round(warm_wall, 3),
+        "speedup": round(cold_wall / warm_wall, 1) if warm_wall > 0 else None,
+        "warm_solved": sched["solved"],
+        "warm_cache_answered": sched["cache_answered"],
+        "transitions_loaded": shard["transitions_loaded"],
+    }
+    if verbose:
+        print(
+            f"# warm restart: {len(unique)} requests, cold {cold_wall:.3f}s "
+            f"-> warm {warm_wall:.3f}s (solved=0, "
+            f"{shard['transitions_loaded']} transitions loaded)"
+        )
+    return result
+
+
+def _fairness_client(server, pairs, name, statuses) -> None:
+    for i, j in pairs:
+        body = json.dumps({"name": "t", "i": i, "j": j})
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=120)
+        try:
+            conn.request(
+                "POST", "/v1/distance", body,
+                {"Content-Type": "application/json", "X-Client": name},
+            )
+            resp = conn.getresponse()
+            resp.read()
+            statuses.append(resp.status)
+        finally:
+            conn.close()
+
+
+def _bench_fairness(store_path, cfg, verbose) -> dict:
+    """Greedy-vs-polite under per-client quotas: the greedy identity
+    flooding cold solves gets rationed with 429s while the polite
+    identity's requests all succeed."""
+    n = cfg["n_states"]
+    all_pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    polite_pairs = all_pairs[:2]
+    greedy_pairs = all_pairs[2:]
+    config = EngineConfig(
+        clusters=8, client_max_pending=1, persist_transitions=False
+    )
+    service = SNDService(store_path, config=config)
+    # Pre-warm the polite identity's pairs so its requests are served
+    # from the transition cache while greedy floods the solver.
+    for i, j in polite_pairs:
+        service.distance_pair("t", i, j)
+    with BackgroundServer(service) as server:
+        greedy_statuses: list[int] = []
+        polite_statuses: list[int] = []
+        # Each thread gets a distinct slice: duplicates of an in-flight
+        # pair would coalesce (consuming no quota), but concurrent
+        # *distinct* pairs race for the identity's single pending slot.
+        greedy_threads = [
+            threading.Thread(
+                target=_fairness_client,
+                args=(server, greedy_pairs[k::4], "greedy", greedy_statuses),
+            )
+            for k in range(4)
+        ]
+        for t in greedy_threads:
+            t.start()
+        polite = threading.Thread(
+            target=_fairness_client,
+            args=(server, polite_pairs * 10, "polite", polite_statuses),
+        )
+        polite.start()
+        polite.join()
+        for t in greedy_threads:
+            t.join()
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=60)
+        conn.request("GET", "/v1/stats")
+        stats = json.loads(conn.getresponse().read())
+        conn.close()
+    sched = stats["shards"]["t"]["scheduler"]
+    greedy_429 = sum(1 for s in greedy_statuses if s == 429)
+    assert set(greedy_statuses) <= {200, 429}
+    # Four threads racing distinct cold pairs on a quota of one: the
+    # greedy identity must have been rationed at least once.
+    assert greedy_429 > 0, "greedy client was never rationed"
+    assert sched["client_rejected"] == greedy_429
+    # The polite client's requests ALL succeeded despite the flood.
+    assert polite_statuses and all(s == 200 for s in polite_statuses)
+    result = {
+        "greedy_requests": len(greedy_statuses),
+        "greedy_429": greedy_429,
+        "polite_requests": len(polite_statuses),
+        "polite_ok": sum(1 for s in polite_statuses if s == 200),
+        "client_rejected": sched["client_rejected"],
+        "clients": sched["clients"],
+    }
+    if verbose:
+        print(
+            f"# fairness: greedy {greedy_429}/{len(greedy_statuses)} "
+            f"rationed with 429, polite {result['polite_ok']}/"
+            f"{len(polite_statuses)} all served"
+        )
+    return result
 
 
 def run_experiment(verbose: bool = True, quick: bool = False) -> dict:
@@ -144,12 +292,13 @@ def run_experiment(verbose: bool = True, quick: bool = False) -> dict:
         for k in range(cfg["n_clients"])
     ]
 
-    with BackgroundServer(SNDService(store_path, clusters=8)) as server:
+    config = EngineConfig(clusters=8, persist_transitions=False)
+    with BackgroundServer(SNDService(store_path, config=config)) as server:
         # Warm the shard (graph load + SND construction) outside the
         # timed window — a prod server would be long past cold start.
         conn = http.client.HTTPConnection(server.host, server.port, timeout=300)
         conn.request(
-            "POST", "/distance", json.dumps({"name": "t", "i": 0, "j": 1}),
+            "POST", "/v1/distance", json.dumps({"name": "t", "i": 0, "j": 1}),
             {"Content-Type": "application/json"},
         )
         conn.getresponse().read()
@@ -173,7 +322,7 @@ def run_experiment(verbose: bool = True, quick: bool = False) -> dict:
         assert not errors, f"trace replay hit errors: {errors[:3]}"
 
         conn = http.client.HTTPConnection(server.host, server.port, timeout=60)
-        conn.request("GET", "/stats")
+        conn.request("GET", "/v1/stats")
         stats = json.loads(conn.getresponse().read())
         conn.close()
 
@@ -210,6 +359,8 @@ def run_experiment(verbose: bool = True, quick: bool = False) -> dict:
         "scheduler": sched,
         "cache_stats": stats["shards"]["t"].get("caches"),
     }
+    results["warm_restart"] = _bench_warm_restart(store_path, trace, verbose)
+    results["fairness"] = _bench_fairness(store_path, cfg, verbose)
     JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")
 
     print_table(
@@ -225,6 +376,8 @@ def run_experiment(verbose: bool = True, quick: bool = False) -> dict:
             ["sustained req/s", results["throughput"]["req_per_s"]],
             ["p50 latency (ms)", results["throughput"]["p50_ms"]],
             ["p99 latency (ms)", results["throughput"]["p99_ms"]],
+            ["warm-restart speedup", results["warm_restart"]["speedup"]],
+            ["greedy 429s (fairness)", results["fairness"]["greedy_429"]],
         ],
         verbose=verbose,
     )
@@ -233,6 +386,10 @@ def run_experiment(verbose: bool = True, quick: bool = False) -> dict:
         clients=cfg["n_clients"], requests=len(trace),
     )
     record("serve", "p99_ms", results["throughput"]["p99_ms"])
+    record(
+        "serve", "warm_restart_speedup", results["warm_restart"]["speedup"],
+        requests=results["warm_restart"]["requests"],
+    )
     return results
 
 
@@ -245,6 +402,11 @@ def test_serve_bench(benchmark):
     assert sched["solved"] == results["trace"]["unique_pairs"]
     assert sched["solved"] < sched["requested"]
     assert results["throughput"]["req_per_s"] > 0
+    # Warm restart answered the replay entirely from the persisted cache.
+    assert results["warm_restart"]["warm_solved"] == 0
+    # Fairness: greedy rationed, polite fully served.
+    assert results["fairness"]["greedy_429"] > 0
+    assert results["fairness"]["polite_ok"] == results["fairness"]["polite_requests"]
 
 
 if __name__ == "__main__":

@@ -257,6 +257,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="scheduler backpressure bound: max unique pairs queued or "
         "solving at once (default: %(default)s -> library default)",
     )
+    serve.add_argument(
+        "--client-max-pending",
+        type=int,
+        default=None,
+        help="per-client fairness quota: max pending pairs one X-Client "
+        "identity may hold (scaled by its priority class); over-quota "
+        "requests get HTTP 429 (default: no per-client cap)",
+    )
+    serve.add_argument(
+        "--memory-budget",
+        type=int,
+        default=None,
+        help="cache hierarchy memory budget in bytes (default: unbounded)",
+    )
+    serve.add_argument(
+        "--no-persist",
+        action="store_true",
+        help="disable spilling the transition cache to the store "
+        "(warm restarts will re-solve)",
+    )
+    serve.add_argument(
+        "--flush-interval",
+        type=float,
+        default=None,
+        help="seconds between periodic transition-cache flushes to the "
+        "store (default: 30)",
+    )
+    serve.add_argument(
+        "--client",
+        default=None,
+        help="default client identity for requests without an X-Client "
+        "header (default: anonymous — exempt from per-client quotas)",
+    )
+    serve.add_argument(
+        "--priority",
+        default=None,
+        choices=["low", "normal", "high"],
+        help="default priority class for requests without an X-Priority "
+        "header (default: normal)",
+    )
+    serve.add_argument(
+        "--hybrid-cells",
+        type=int,
+        default=None,
+        help="cost-matrix cell threshold steering auto solver selection "
+        "toward the sinkhorn-hybrid tier (default: library auto)",
+    )
 
     exp = sub.add_parser("experiment", help="run a paper experiment")
     exp.add_argument(
@@ -299,14 +346,17 @@ def _make_service(args: argparse.Namespace):
     """The one-shot :class:`~repro.serve.service.SNDService` a CLI
     invocation runs against — the same class `repro-snd serve` keeps
     alive, so both fronts share one scheduler-routed code path."""
-    from repro.serve import SNDService
+    from repro.serve import EngineConfig, SNDService
 
-    return SNDService(
-        args.store,
+    config = EngineConfig(
         clusters=getattr(args, "clusters", None),
         solver=getattr(args, "solver", "auto"),
         jobs="auto" if getattr(args, "jobs", None) is None else args.jobs,
+        # One-shot CLI runs never outlive the process; spilling the
+        # transition cache on every invocation would thrash the store.
+        persist_transitions=False,
     )
+    return SNDService(args.store, config=config)
 
 
 def _print_cache_stats(stats: dict | None) -> None:
@@ -325,7 +375,7 @@ def _print_cache_stats(stats: dict | None) -> None:
         print(
             f"#   {layer:11s} hits={s['hits']} misses={s['misses']} "
             f"builds={s['builds']} evictions={s['evictions']} "
-            f"size={s['size']}/{s['maxsize']} bytes={s['nbytes']}{extra}"
+            f"size={s['size']}/{s['max_size']} bytes={s['nbytes']}{extra}"
         )
     print(
         f"#   total bytes={stats['total_nbytes']} "
@@ -482,19 +532,24 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.serve import SNDService
+    from repro.serve import EngineConfig, SNDService
     from repro.serve.http import serve_forever
-    from repro.snd.scheduler import DEFAULT_MAX_PENDING
 
-    service = SNDService(
-        args.store,
+    config = EngineConfig(
         clusters=args.clusters,
         solver=args.solver,
         jobs="auto" if args.jobs is None else args.jobs,
-        max_pending=DEFAULT_MAX_PENDING
-        if args.max_pending is None
-        else args.max_pending,
+        max_pending=args.max_pending,
+        client_max_pending=args.client_max_pending,
+        memory_budget=args.memory_budget,
+        persist_transitions=not args.no_persist,
+        client=args.client,
+        priority="normal" if args.priority is None else args.priority,
+        hybrid_cells="auto" if args.hybrid_cells is None else args.hybrid_cells,
     )
+    if args.flush_interval is not None:
+        config = config.replace(flush_interval=args.flush_interval)
+    service = SNDService(args.store, config=config)
     return serve_forever(service, host=args.host, port=args.port)
 
 

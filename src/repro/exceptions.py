@@ -23,6 +23,7 @@ __all__ = [
     "ClusteringError",
     "PredictionError",
     "SchedulerSaturatedError",
+    "ClientSaturatedError",
     "StoreError",
     "ValidationError",
 ]
@@ -99,3 +100,11 @@ class SchedulerSaturatedError(ReproError):
     """The pair scheduler's bounded queue is full and the request could not
     be admitted (non-blocking admission, or the admission timeout expired).
     The serve tier maps this to HTTP 503."""
+
+
+class ClientSaturatedError(SchedulerSaturatedError):
+    """One client's per-identity pending quota (``client_max_pending``,
+    scaled by its priority class) is exhausted while the global queue still
+    has room — a fairness rejection, not global saturation.  The serve tier
+    maps this to HTTP 429 so well-behaved clients are distinguishable from
+    an overloaded server."""

@@ -157,7 +157,7 @@ class HybridMetrics:
                 "screened_solves": self.screened_solves,
                 "support_density": density,
                 "last_support_density": self.last_support_density,
-                "screen_error_bound": self.last_screen_error_bound,
+                "last_screen_error_bound": self.last_screen_error_bound,
                 "max_screen_error_bound": self.max_screen_error_bound,
             }
 

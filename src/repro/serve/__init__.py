@@ -15,12 +15,20 @@ scheduler-backed engine stack behind two fronts:
     subcommands and the HTTP server are both thin clients of this class.
 
 :mod:`repro.serve.http`
-    A stdlib-asyncio HTTP/1.1 server (``repro-snd serve``) exposing
-    ``distance``, ``matrix``, ``corpus/query``, ``watch`` (streaming
-    anomaly updates over a chunked NDJSON response), and ``stats``
-    (cache + scheduler counters).  Backpressure surfaces as HTTP 503.
+    A stdlib-asyncio HTTP/1.1 server (``repro-snd serve``) exposing the
+    versioned ``/v1`` API: ``distance``, ``matrix``, ``corpus/query``,
+    ``watch`` (streaming anomaly updates over a chunked NDJSON
+    response), ``stats`` (cache + scheduler counters), and ``metrics``
+    (Prometheus text exposition).  Backpressure surfaces as HTTP 503,
+    per-client fairness rejections as HTTP 429.
+
+Service construction is configured by one typed
+:class:`~repro.serve.config.EngineConfig` object (clusters, solver,
+jobs, scheduler bounds, per-client quotas, cache persistence) shared by
+the CLI and the HTTP server.
 """
 
+from repro.serve.config import EngineConfig
 from repro.serve.service import EngineShard, SNDService
 
-__all__ = ["SNDService", "EngineShard"]
+__all__ = ["SNDService", "EngineShard", "EngineConfig"]

@@ -27,13 +27,14 @@ thread.
 from __future__ import annotations
 
 import threading
+import warnings
 from typing import Iterator, Sequence
 
 import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.opinions.state import NetworkState
-from repro.snd.scheduler import DEFAULT_MAX_PENDING
+from repro.serve.config import EngineConfig
 
 __all__ = ["SNDService", "EngineShard"]
 
@@ -44,6 +45,15 @@ class EngineShard:
     Created lazily by :meth:`SNDService.shard` on first use of the name;
     the engine (and its worker pool / shared-memory matrix) is created
     even more lazily, on the first SND operation.
+
+    When the service config enables ``persist_transitions`` (the
+    default), the first SND build warms the shard's
+    :class:`~repro.snd.cache.TransitionCache` from the store's
+    ``transition_cache`` table (counter-neutral seeding — ``fresh`` keeps
+    counting only this process's solves), and :meth:`flush_transitions`
+    spills the cache back.  A restarted server therefore answers a
+    previously-served trace entirely from cache: ``solved == 0``,
+    ``cache_answered == requested``.
     """
 
     def __init__(self, service: "SNDService", graph_name: str) -> None:
@@ -58,29 +68,76 @@ class EngineShard:
         self.corpora: dict = {}
         self._engine = None
         self._lock = threading.Lock()
+        self.transitions_loaded = 0
+        self.transitions_persisted = 0
+        self._warmed = False
+        # (size, fresh) snapshot at the last flush: an unchanged cache
+        # skips the store round-trip entirely.
+        self._last_flush_state: tuple[int, int] | None = None
 
     def ensure_snd(self):
         """The shard's SND instance (created on first SND use, mirroring
         the CLI's measure-gated construction so non-SND operations never
-        build one)."""
-        return self.context.ensure_snd(
-            n_clusters=self.service.clusters,
-            seed=self.service.seed,
-            solver=self.service.solver,
-        )
+        build one).  First creation also warms the transition cache from
+        the store and applies the configured cache memory budget."""
+        config = self.service.config
+        snd = self.context.ensure_snd(**config.snd_kwargs())
+        with self._lock:
+            if not self._warmed:
+                self._warmed = True
+                if config.memory_budget is not None:
+                    snd.caches.memory_budget = config.memory_budget
+                if config.persist_transitions:
+                    with self.service._open_store() as store:
+                        rows = store.load_transitions(self.graph_name)
+                    if rows:
+                        self.transitions_loaded = snd.caches.transitions.seed_rows(rows)
+                        self._last_flush_state = (
+                            len(snd.caches.transitions),
+                            snd.caches.transitions.fresh,
+                        )
+        return snd
 
     def engine(self, jobs=None):
         """The shard's persistent engine (created once; *jobs* only
         matters on the creating call — later calls reuse the engine and
         can cap fan-out per call through the scheduler instead)."""
+        snd = self.ensure_snd()
         with self._lock:
             if self._engine is None:
-                snd = self.ensure_snd()
-                self._engine = snd.create_engine(
-                    jobs=self.service.jobs if jobs is None else jobs,
-                    max_pending=self.service.max_pending,
-                )
+                kwargs = self.service.config.engine_kwargs()
+                kwargs["jobs"] = self.service.jobs if jobs is None else jobs
+                self._engine = snd.create_engine(**kwargs)
             return self._engine
+
+    def flush_transitions(self) -> int:
+        """Spill the transition cache to the store (if dirty).
+
+        Returns the number of rows written (0 when persistence is off,
+        no SND instance exists yet, or nothing changed since the last
+        flush — the ``(size, fresh)`` snapshot makes periodic flushing
+        nearly free on an idle server).  Upsert semantics in the store
+        make re-flushing overlapping snapshots idempotent.
+        """
+        if not self.service.config.persist_transitions:
+            return 0
+        snd = self.context.snd
+        if snd is None or snd._caches is None:
+            return 0
+        transitions = snd.caches.transitions
+        state = (len(transitions), transitions.fresh)
+        with self._lock:
+            if state == self._last_flush_state:
+                return 0
+            self._last_flush_state = state
+        rows = transitions.export_rows()
+        if not rows:
+            return 0
+        with self.service._open_store() as store:
+            written = store.save_transitions(self.graph_name, rows)
+        with self._lock:
+            self.transitions_persisted += written
+        return written
 
     def corpus(self, corpus_name: str, *, jobs=None, reload: bool = False):
         """The named corpus, loaded from the store through the shard
@@ -110,13 +167,21 @@ class EngineShard:
         payload = dict(payload)
         payload["n_states"] = len(self.series)
         payload["corpora"] = sorted(self.corpora)
+        payload["transitions_loaded"] = self.transitions_loaded
+        payload["transitions_persisted"] = self.transitions_persisted
         return payload
 
     def close(self) -> None:
+        self.flush_transitions()
         with self._lock:
             engine, self._engine = self._engine, None
         if engine is not None:
             engine.close()
+
+
+#: Sentinel distinguishing "not passed" from explicit values in the
+#: legacy-keyword shim below.
+_UNSET = object()
 
 
 class SNDService:
@@ -127,41 +192,98 @@ class SNDService:
     store_path:
         Path of the :class:`~repro.store.ExperimentStore` holding the
         graphs, series, and corpora to serve.
-    clusters / solver / seed:
-        SND construction knobs, applied uniformly to every shard
-        (mirrors the CLI's ``--clusters`` / ``--solver`` flags). With
-        ``solver="network-simplex"`` each shard's engine warm-starts
-        repeat solves from its shared basis cache, which pays off on
-        exactly the serving access patterns — repeated windows and
-        growing corpora (see :mod:`repro.flow.network_simplex`).
-    jobs:
-        Engine worker spelling for shards: ``"auto"`` (default — what
-        the CLI engine commands historically used), an explicit count,
-        or ``None`` for serial.  ``0`` is accepted as a legacy spelling
-        of serial at this boundary — the library-level
+    config:
+        An :class:`~repro.serve.config.EngineConfig` consolidating every
+        construction knob — SND (``clusters`` / ``solver`` / ``seed`` /
+        ``hybrid_cells``), engine (``jobs`` / ``executor`` / cache
+        toggles / ``memory_budget``), scheduler (``max_pending`` /
+        ``client_max_pending``), and persistence
+        (``persist_transitions`` / ``flush_interval``).  ``None`` means
+        all defaults.  With ``solver="network-simplex"`` each shard's
+        engine warm-starts repeat solves from its shared basis cache,
+        which pays off on exactly the serving access patterns — repeated
+        windows and growing corpora (see :mod:`repro.flow.network_simplex`).
+    clusters / solver / jobs / seed / max_pending:
+        **Deprecated** keyword spellings of the corresponding
+        ``EngineConfig`` fields, kept for one release; passing any emits
+        a :class:`DeprecationWarning` and they cannot be combined with
+        *config*.  ``jobs=0`` remains a legacy spelling of serial at
+        this boundary — the library-level
         :func:`~repro.snd.scheduler.resolve_jobs` itself rejects it.
-    max_pending:
-        Scheduler backpressure bound, passed to every shard engine.
     """
 
     def __init__(
         self,
         store_path: str,
         *,
-        clusters: int | None = None,
-        solver: str = "auto",
-        jobs="auto",
-        seed: int = 0,
-        max_pending: int = DEFAULT_MAX_PENDING,
+        config: EngineConfig | None = None,
+        clusters=_UNSET,
+        solver=_UNSET,
+        jobs=_UNSET,
+        seed=_UNSET,
+        max_pending=_UNSET,
     ) -> None:
+        legacy = {
+            name: value
+            for name, value in (
+                ("clusters", clusters),
+                ("solver", solver),
+                ("jobs", jobs),
+                ("seed", seed),
+                ("max_pending", max_pending),
+            )
+            if value is not _UNSET
+        }
+        if legacy:
+            if config is not None:
+                raise ValidationError(
+                    f"pass configuration via config= or legacy keywords, "
+                    f"not both (got config and {sorted(legacy)})"
+                )
+            warnings.warn(
+                f"SNDService keyword arguments {sorted(legacy)} are "
+                f"deprecated; pass an EngineConfig via config= instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if legacy.get("jobs") == 0:
+                legacy["jobs"] = 1  # legacy spelling of serial
+            # Direct construction (not from_mapping): an explicit
+            # ``jobs=None`` / ``clusters=None`` must stay None, not fall
+            # back to the field default.
+            config = EngineConfig(**legacy)
+        self.config = config if config is not None else EngineConfig()
         self.store_path = store_path
-        self.clusters = clusters
-        self.solver = solver
-        self.jobs = 1 if jobs == 0 else jobs
-        self.seed = seed
-        self.max_pending = max_pending
         self._shards: dict[str, EngineShard] = {}
         self._shards_lock = threading.Lock()
+
+    # Read-only mirrors of the config fields the historical attribute
+    # surface exposed (tests and callers read e.g. ``service.jobs``).
+    @property
+    def clusters(self):
+        return self.config.clusters
+
+    @property
+    def solver(self):
+        return self.config.solver
+
+    @property
+    def jobs(self):
+        return self.config.jobs
+
+    @property
+    def seed(self):
+        return self.config.seed
+
+    @property
+    def max_pending(self):
+        from repro.snd.scheduler import DEFAULT_MAX_PENDING
+
+        return (
+            DEFAULT_MAX_PENDING
+            if self.config.max_pending is None
+            else self.config.max_pending
+        )
 
     @staticmethod
     def _normalise_jobs(jobs):
@@ -243,10 +365,22 @@ class SNDService:
             measure, shard.series, shard.context, jobs=self._normalise_jobs(jobs)
         )
 
-    def distance_pair(self, graph_name: str, i: int, j: int) -> float:
+    def distance_pair(
+        self,
+        graph_name: str,
+        i: int,
+        j: int,
+        *,
+        client: str | None = None,
+        priority: str | None = None,
+    ) -> float:
         """SND between series states *i* and *j*, through the shard
         engine's scheduler and transition cache — the endpoint behind
-        ``POST /distance``, and the one that coalesces duplicate bursts."""
+        ``POST /v1/distance``, and the one that coalesces duplicate
+        bursts.  *client* / *priority* identify the requester for the
+        scheduler's per-client accounting and fairness quotas (the HTTP
+        layer forwards ``X-Client`` / ``X-Priority`` headers here; the
+        CLI forwards ``--client`` / ``--priority`` flags)."""
         shard = self.shard(graph_name)
         series = shard.series
         for idx in (i, j):
@@ -255,8 +389,16 @@ class SNDService:
                     f"state index {idx} out of range [0, {len(series) - 1}]"
                 )
         engine = shard.engine()
+        if client is None:
+            client = self.config.client
+        if priority is None:
+            priority = self.config.priority
         return engine.scheduler.submit(
-            series[i], series[j], transitions=engine.caches.transitions
+            series[i],
+            series[j],
+            transitions=engine.caches.transitions,
+            client=client,
+            priority=priority,
         )
 
     # ------------------------------------------------------------------ #
@@ -379,16 +521,29 @@ class SNDService:
 
     def stats(self) -> dict:
         """Service-wide counters: one entry per loaded shard (cache
-        hierarchy + scheduler + pool state) — the ``stats`` endpoint."""
+        hierarchy + scheduler + pool state + persistence counters) — the
+        ``stats`` endpoint, and the tree
+        :func:`repro.serve.metrics.samples_from_stats` translates into
+        Prometheus samples for ``/v1/metrics``."""
         with self._shards_lock:
             shards = dict(self._shards)
         return {
             "store": self.store_path,
+            "config": self.config.to_dict(),
             "shards": {name: shard.stats() for name, shard in shards.items()},
         }
 
+    def flush(self) -> int:
+        """Spill every shard's transition cache to the store; returns the
+        total rows written (the HTTP server calls this periodically, and
+        :meth:`close` calls it on the way out)."""
+        with self._shards_lock:
+            shards = list(self._shards.values())
+        return sum(shard.flush_transitions() for shard in shards)
+
     def close(self) -> None:
-        """Close every shard engine (idempotent, like the engines)."""
+        """Flush transition caches, then close every shard engine
+        (idempotent, like the engines)."""
         with self._shards_lock:
             shards, self._shards = list(self._shards.values()), {}
         for shard in shards:

@@ -162,14 +162,19 @@ class _LruCache:
         self.maxsize = max(self.maxsize, int(maxsize))
 
     def stats(self) -> dict:
-        """Counters snapshot: hits, misses, builds, evictions, size, bytes."""
+        """Counters snapshot: hits, misses, builds, evictions, size, bytes.
+
+        Key names match the Prometheus metric names the serve tier
+        exports (``snd_cache_*``); ``max_size`` replaced the historical
+        ``maxsize`` key as part of that normalisation.
+        """
         return {
             "hits": self.hits,
             "misses": self.misses,
             "builds": self.misses,
             "evictions": self.evictions,
             "size": len(self._entries),
-            "maxsize": self.maxsize,
+            "max_size": self.maxsize,
             "nbytes": self._nbytes,
         }
 
@@ -336,6 +341,34 @@ class TransitionCache(_LruCache):
     def reused(self) -> int:
         """Number of transitions answered from the cache (== hits)."""
         return self.hits
+
+    # ------------------------------------------------------------------ #
+    # Persistence (the store's ``transition_cache`` table)
+    # ------------------------------------------------------------------ #
+
+    def export_rows(self) -> list[tuple[bytes, bytes, float]]:
+        """Snapshot of every entry as ``(key_a, key_b, value)`` rows, in
+        LRU order (oldest first), for spilling to the experiment store.
+        Counter-free: exporting is not a lookup."""
+        with self._lock:
+            return [(ka, kb, float(v)) for (ka, kb), v in self._entries.items()]
+
+    def seed_rows(self, rows) -> int:
+        """Warm the cache from persisted ``(key_a, key_b, value)`` rows.
+
+        Counter-neutral, like the corpus seeding path: seeded entries do
+        not touch hit/miss, so ``fresh`` keeps counting only the pairs
+        actually solved in this process.  The cache grows to fit the
+        seed — restoring a spilled cache must not silently evict its own
+        warm set.  Returns the number of entries inserted.
+        """
+        rows = list(rows)
+        if not rows:
+            return 0
+        self.grow(len(rows) + len(self._entries))
+        for key_a, key_b, value in rows:
+            self._put((bytes(key_a), bytes(key_b)), float(value))
+        return len(rows)
 
 
 class BasisCache(_LruCache):
@@ -511,7 +544,7 @@ class CacheManager:
 
         Keys ``ground`` / ``rows`` / ``transitions`` / ``bases`` each map
         to the member's :meth:`_LruCache.stats` dict (hits, misses,
-        builds, evictions, size, maxsize, nbytes — the basis store adds
+        builds, evictions, size, max_size, nbytes — the basis store adds
         its per-channel warm-hit counters); ``total_nbytes`` and
         ``memory_budget`` summarise the shared budget.
         """

@@ -286,6 +286,10 @@ class SNDEngine:
     max_pending:
         Bound on unique pairs the engine's scheduler will hold admitted
         at once (backpressure; see :class:`~repro.snd.scheduler.PairScheduler`).
+    client_max_pending:
+        Optional per-client fairness quota for the scheduler (see
+        :class:`~repro.snd.scheduler.PairScheduler`); ``None`` (default)
+        disables per-client caps.
 
     The pool and the shared-memory block are created lazily on the first
     parallel call and reused until :meth:`close` (the engine is a context
@@ -308,6 +312,7 @@ class SNDEngine:
         use_row_cache: bool = True,
         use_basis_cache: "bool | str" = "auto",
         max_pending: int = DEFAULT_MAX_PENDING,
+        client_max_pending: int | None = None,
     ) -> None:
         if executor not in ("process", "thread"):
             raise ValidationError(
@@ -333,7 +338,9 @@ class SNDEngine:
         self._capacity = 0
         self._n_users: int | None = None
         self._closed = False
-        self.scheduler = PairScheduler(self, max_pending=max_pending)
+        self.scheduler = PairScheduler(
+            self, max_pending=max_pending, client_max_pending=client_max_pending
+        )
 
     # ------------------------------------------------------------------ #
     # Lifecycle

@@ -203,6 +203,7 @@ def emd_star_term_fast(
     engine: str = "scipy",
     heap: str = "binary",
     solver: str = "ssp",
+    hybrid_cells: "int | str | None" = "auto",
     bank_metric: str = "nearest",
     bank_shares: str = "mass",
     row_cache=None,
@@ -230,6 +231,11 @@ def emd_star_term_fast(
         ``"auto"`` (per-instance size-based selection; routes reduced
         instances above :data:`repro.flow.AUTO_HYBRID_CELLS` cells to the
         hybrid tier).
+    hybrid_cells:
+        Overrides the ``"auto"`` escalation threshold (reduced-instance
+        cell count at which the hybrid tier takes over): a positive
+        integer, ``None`` to disable the hybrid tier, or ``"auto"`` for
+        the library default. Ignored for explicit solver choices.
     bank_metric:
         ``"nearest"`` (default, semimetric-preserving) or ``"cluster"``
         (the literal Eq. 4); see :func:`repro.emd.emd_star.build_extension`.
@@ -372,7 +378,12 @@ def emd_star_term_fast(
     else:
         folded_rows, folded_cols = sup_ids.size + n_bank_bins, con_ids.size
     if solver == "auto":
-        solver = select_transport_method(folded_rows, folded_cols)
+        if hybrid_cells == "auto":
+            solver = select_transport_method(folded_rows, folded_cols)
+        else:
+            solver = select_transport_method(
+                folded_rows, folded_cols, hybrid_cells=hybrid_cells
+            )
     if stats is not None:
         profile = reduced_problem_profile(
             sup_amounts, con_amounts, d_sc, unreachable=unreach

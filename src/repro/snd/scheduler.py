@@ -55,12 +55,17 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.exceptions import SchedulerSaturatedError, ValidationError
+from repro.exceptions import (
+    ClientSaturatedError,
+    SchedulerSaturatedError,
+    ValidationError,
+)
 from repro.opinions.state import NetworkState
 from repro.snd.cache import TransitionCache
 
 __all__ = [
     "DEFAULT_MAX_PENDING",
+    "PRIORITY_WEIGHTS",
     "PairScheduler",
     "resolve_jobs",
 ]
@@ -70,6 +75,12 @@ __all__ = [
 #: fit in a single admission slice; small enough to bound memory and give
 #: the serve tier a meaningful saturation signal.
 DEFAULT_MAX_PENDING = 4096
+
+#: Priority classes for per-client admission: the multiplier applied to
+#: ``client_max_pending`` when computing a client's effective quota.
+#: ``high`` clients may hold twice the base quota, ``low`` half (never
+#: below 1); the global ``max_pending`` bound applies on top regardless.
+PRIORITY_WEIGHTS: dict[str, float] = {"low": 0.5, "normal": 1.0, "high": 2.0}
 
 
 # --------------------------------------------------------------------- #
@@ -167,6 +178,18 @@ class PairScheduler:
     max_pending:
         Bound on unique pairs admitted (queued or solving) at once — the
         backpressure knob.
+    client_max_pending:
+        Optional per-client fairness quota: a bound on the pairs any one
+        client identity may hold admitted at once, scaled by that
+        client's priority class (:data:`PRIORITY_WEIGHTS`).  ``None``
+        (the default) disables fairness caps entirely.  A client over
+        its quota fails fast with
+        :class:`~repro.exceptions.ClientSaturatedError` (HTTP 429 at the
+        serve tier) instead of blocking, so a greedy client can never
+        park the whole queue behind its own backlog.  Anonymous requests
+        (``client=None``) are exempt — only identified clients are
+        rationed.  Coalesced requests never consume quota: attaching to
+        someone else's solve costs nothing.
 
     Thread safety: the scheduler is the one component that *must* be
     shared across threads (that is its point).  All queue state lives
@@ -190,28 +213,74 @@ class PairScheduler:
     ``batches``
         Chunk submissions (serial runs count one batch per slice).
     ``rejected``
-        Admissions refused by backpressure (``block=False`` or timeout).
+        Admissions refused by global backpressure (``block=False`` or
+        timeout).
+    ``client_rejected``
+        Admissions refused by a per-client quota (fairness rejections;
+        a strict subset of neither — disjoint from — ``rejected``).
     """
 
-    def __init__(self, engine, *, max_pending: int = DEFAULT_MAX_PENDING) -> None:
+    def __init__(
+        self,
+        engine,
+        *,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        client_max_pending: int | None = None,
+    ) -> None:
         if max_pending < 1:
             raise ValidationError(
                 f"max_pending must be >= 1, got {max_pending}"
             )
+        if client_max_pending is not None and client_max_pending < 1:
+            raise ValidationError(
+                f"client_max_pending must be >= 1, got {client_max_pending}"
+            )
         self.engine = engine
         self.max_pending = int(max_pending)
+        self.client_max_pending = (
+            None if client_max_pending is None else int(client_max_pending)
+        )
         self._lock = threading.Lock()
         self._room = threading.Condition(self._lock)
         self._inflight: dict[tuple[bytes, bytes], _InFlight] = {}
         self._pending = 0
         self._dispatch_lock = threading.Lock()
+        self._clients: dict[str, dict[str, int]] = {}
         self.requested = 0
         self.cache_answered = 0
         self.coalesced = 0
         self.solved = 0
         self.batches = 0
         self.rejected = 0
+        self.client_rejected = 0
         self.peak_pending = 0
+
+    def _client_entry(self, client: str) -> dict[str, int]:
+        """Per-client counter record, created on first sight (lock held)."""
+        entry = self._clients.get(client)
+        if entry is None:
+            entry = {
+                "requested": 0,
+                "cache_answered": 0,
+                "coalesced": 0,
+                "solved": 0,
+                "rejected": 0,
+                "pending": 0,
+            }
+            self._clients[client] = entry
+        return entry
+
+    def client_quota(self, priority: str) -> int | None:
+        """Effective pending quota for *priority*, or ``None`` when
+        fairness caps are disabled."""
+        if priority not in PRIORITY_WEIGHTS:
+            raise ValidationError(
+                f"priority must be one of {sorted(PRIORITY_WEIGHTS)}, "
+                f"got {priority!r}"
+            )
+        if self.client_max_pending is None:
+            return None
+        return max(1, int(self.client_max_pending * PRIORITY_WEIGHTS[priority]))
 
     # ------------------------------------------------------------------ #
     # Client surface
@@ -225,10 +294,18 @@ class PairScheduler:
         transitions: TransitionCache | None = None,
         block: bool = True,
         timeout: float | None = None,
+        client: str | None = None,
+        priority: str = "normal",
     ) -> float:
         """One pair through the full queue/dedup/coalesce path."""
         return self.evaluate(
-            [a, b], [(0, 1)], transitions=transitions, block=block, timeout=timeout
+            [a, b],
+            [(0, 1)],
+            transitions=transitions,
+            block=block,
+            timeout=timeout,
+            client=client,
+            priority=priority,
         )[0]
 
     def evaluate(
@@ -240,6 +317,8 @@ class PairScheduler:
         jobs=None,
         block: bool = True,
         timeout: float | None = None,
+        client: str | None = None,
+        priority: str = "normal",
     ) -> list[float]:
         """Distances for index *pairs* over *states*, in request order.
 
@@ -252,13 +331,22 @@ class PairScheduler:
         blocks (``block=True``, optional *timeout* seconds) or raises
         :class:`~repro.exceptions.SchedulerSaturatedError`.
 
+        *client* names the requesting identity for per-client accounting
+        and (when ``client_max_pending`` is set) fairness quotas scaled
+        by *priority*; an identified client over its quota fails fast
+        with :class:`~repro.exceptions.ClientSaturatedError`.
+
         *jobs* caps this call's chunk fan-out (it can never exceed the
         engine's worker count).  Values are bit-identical to
         ``[engine.distance(states[i], states[j]) for i, j in pairs]``.
         """
+        quota = self.client_quota(priority)  # validates priority up front
         pairs = list(pairs)
         n = len(pairs)
-        self.requested += n
+        with self._lock:
+            self.requested += n
+            if client is not None:
+                self._client_entry(client)["requested"] += n
         if n == 0:
             return []
         results: list[float | None] = [None] * n
@@ -273,6 +361,7 @@ class PairScheduler:
             owned: list[tuple[tuple[bytes, bytes], tuple[int, int]]] = []
             owned_targets: dict[tuple[bytes, bytes], list[int]] = {}
             with self._room:
+                record = None if client is None else self._client_entry(client)
                 while pos < n:
                     i, j = pairs[pos]
                     key = keys[pos]
@@ -281,25 +370,49 @@ class PairScheduler:
                         if cached is not None:
                             results[pos] = float(cached)
                             self.cache_answered += 1
+                            if record is not None:
+                                record["cache_answered"] += 1
                             pos += 1
                             continue
                     targets = owned_targets.get(key)
                     if targets is not None:  # duplicate within this slice
                         targets.append(pos)
                         self.coalesced += 1
+                        if record is not None:
+                            record["coalesced"] += 1
                         pos += 1
                         continue
                     entry = self._inflight.get(key)
                     if entry is not None:  # another client is solving it
                         shared_waits.append((entry, pos))
                         self.coalesced += 1
+                        if record is not None:
+                            record["coalesced"] += 1
                         pos += 1
                         continue
+                    if (
+                        quota is not None
+                        and record is not None
+                        and record["pending"] >= quota
+                    ):
+                        if owned:
+                            break  # solve what we hold; it frees our quota
+                        # Fail fast rather than block: the quota exists so a
+                        # backlogged client cannot park threads in the queue.
+                        self.client_rejected += 1
+                        record["rejected"] += 1
+                        raise ClientSaturatedError(
+                            f"client {client!r} is over its pending quota "
+                            f"({record['pending']}/{quota} pairs pending at "
+                            f"priority {priority!r})"
+                        )
                     if self._pending >= self.max_pending:
                         if owned:
                             break  # solve what we hold; it frees room
                         if not block:
                             self.rejected += 1
+                            if record is not None:
+                                record["rejected"] += 1
                             raise SchedulerSaturatedError(
                                 f"scheduler queue is full "
                                 f"({self._pending}/{self.max_pending} pairs pending)"
@@ -308,6 +421,8 @@ class PairScheduler:
                             lambda: self._pending < self.max_pending, timeout
                         ):
                             self.rejected += 1
+                            if record is not None:
+                                record["rejected"] += 1
                             raise SchedulerSaturatedError(
                                 f"timed out after {timeout}s waiting for queue room "
                                 f"({self._pending}/{self.max_pending} pairs pending)"
@@ -317,6 +432,8 @@ class PairScheduler:
                     self._inflight[key] = entry
                     self._pending += 1
                     self.peak_pending = max(self.peak_pending, self._pending)
+                    if record is not None:
+                        record["pending"] += 1
                     owned.append((key, (i, j)))
                     owned_targets[key] = [pos]
                     pos += 1
@@ -325,9 +442,15 @@ class PairScheduler:
             try:
                 values = self._solve(states, [pair for _, pair in owned], jobs)
             except BaseException as exc:
-                self._publish(owned, None, owned_targets, results, transitions, states, exc)
+                self._publish(
+                    owned, None, owned_targets, results, transitions, states, exc,
+                    client=client,
+                )
                 raise
-            self._publish(owned, values, owned_targets, results, transitions, states, None)
+            self._publish(
+                owned, values, owned_targets, results, transitions, states, None,
+                client=client,
+            )
 
         for entry, idx in shared_waits:
             entry.event.wait()
@@ -372,12 +495,14 @@ class PairScheduler:
         transitions: TransitionCache | None,
         states: Sequence[NetworkState],
         error: BaseException | None,
+        client: str | None = None,
     ) -> None:
         """Resolve owned entries: fill caches/results, wake waiters, free slots."""
         if error is None and transitions is not None:
             for (key, (i, j)), value in zip(owned, values):
                 transitions.put(states[i], states[j], value)
         with self._room:
+            record = None if client is None else self._client_entry(client)
             for slot, (key, _pair) in enumerate(owned):
                 entry = self._inflight.pop(key)
                 if error is None:
@@ -388,6 +513,10 @@ class PairScheduler:
                     entry.error = error
                 entry.event.set()
                 self._pending -= 1
+                if record is not None:
+                    record["pending"] -= 1
+                    if error is None:
+                        record["solved"] += 1
             self._room.notify_all()
 
     # ------------------------------------------------------------------ #
@@ -402,6 +531,10 @@ class PairScheduler:
     def stats(self) -> dict:
         """Queue/coalescing counters (JSON-ready; the ``stats`` endpoint
         and ``SNDEngine.stats()`` embed this)."""
+        with self._lock:
+            clients = {
+                name: dict(entry) for name, entry in self._clients.items()
+            }
         return {
             "requested": self.requested,
             "cache_answered": self.cache_answered,
@@ -409,9 +542,12 @@ class PairScheduler:
             "solved": self.solved,
             "batches": self.batches,
             "rejected": self.rejected,
+            "client_rejected": self.client_rejected,
             "pending": self._pending,
             "peak_pending": self.peak_pending,
             "max_pending": self.max_pending,
+            "client_max_pending": self.client_max_pending,
+            "clients": clients,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -90,6 +90,12 @@ class SND:
         with a certified per-solve error bound), or ``"auto"``
         (per-instance size-based selection; large reduced instances route
         to the hybrid tier).
+    hybrid_cells:
+        ``solver="auto"`` escalation threshold: reduced instances with at
+        least this many cost-matrix cells route to the approximate hybrid
+        tier. ``"auto"`` keeps the library default
+        (:data:`repro.flow.AUTO_HYBRID_CELLS`); ``None`` disables the
+        hybrid tier so ``auto`` stays exact at every size.
 
     Examples
     --------
@@ -121,6 +127,7 @@ class SND:
         engine: str = "scipy",
         heap: str = "binary",
         solver: str = "ssp",
+        hybrid_cells: "int | str | None" = "auto",
         bank_metric: str = "nearest",
         bank_shares: str = "mass",
         seed=None,
@@ -151,9 +158,17 @@ class SND:
             raise ValidationError(
                 f"unknown solver {solver!r}; expected one of {sorted(SOLVER_CHOICES)}"
             )
+        if hybrid_cells is not None and hybrid_cells != "auto":
+            if not isinstance(hybrid_cells, (int, np.integer)) or hybrid_cells < 1:
+                raise ValidationError(
+                    f"hybrid_cells must be a positive integer, None, or "
+                    f"'auto', got {hybrid_cells!r}"
+                )
+            hybrid_cells = int(hybrid_cells)
         self.engine = engine
         self.heap = heap
         self.solver = solver
+        self.hybrid_cells = hybrid_cells
         self.bank_metric = bank_metric
         self.bank_shares = bank_shares
         self._caches: CacheManager | None = None
@@ -209,6 +224,7 @@ class SND:
             engine=self.engine,
             heap=self.heap,
             solver=self.solver,
+            hybrid_cells=self.hybrid_cells,
             bank_metric=self.bank_metric,
             bank_shares=self.bank_shares,
             row_cache=row_cache,

@@ -288,6 +288,70 @@ class ExperimentStore:
         return [(r[0], r[1], int(r[2])) for r in self._conn.execute(query, params)]
 
     # ------------------------------------------------------------------ #
+    # Transition cache spill (schema v3)
+    # ------------------------------------------------------------------ #
+
+    def _graph_id(self, graph_name: str) -> int:
+        row = self._conn.execute(
+            "SELECT id FROM graphs WHERE name = ?", (graph_name,)
+        ).fetchone()
+        if row is None:
+            raise StoreError(f"no graph named {graph_name!r}")
+        return int(row[0])
+
+    def save_transitions(
+        self, graph_name: str, rows: list[tuple[bytes, bytes, float]]
+    ) -> int:
+        """Upsert spilled transition-cache rows for *graph_name*.
+
+        Rows are ``(key_a, key_b, value)`` from
+        :meth:`repro.snd.cache.TransitionCache.export_rows`. Upsert
+        semantics make the periodic flush idempotent: re-flushing an
+        unchanged cache rewrites the same primary keys. Returns the
+        number of rows written.
+        """
+        graph_id = self._graph_id(graph_name)
+        try:
+            self._conn.executemany(
+                "INSERT INTO transition_cache (graph_id, key_a, key_b, value) "
+                "VALUES (?, ?, ?, ?) "
+                "ON CONFLICT (graph_id, key_a, key_b) DO UPDATE SET "
+                "value = excluded.value, updated_at = datetime('now')",
+                [
+                    (graph_id, sqlite3.Binary(ka), sqlite3.Binary(kb), float(v))
+                    for ka, kb, v in rows
+                ],
+            )
+            self._conn.commit()
+        except sqlite3.Error as exc:
+            raise StoreError(
+                f"failed to save transition cache for {graph_name!r}: {exc}"
+            ) from exc
+        return len(rows)
+
+    def load_transitions(self, graph_name: str) -> list[tuple[bytes, bytes, float]]:
+        """All spilled transition rows for *graph_name*, oldest first (so
+        re-seeding preserves rough LRU order)."""
+        graph_id = self._graph_id(graph_name)
+        return [
+            (bytes(r[0]), bytes(r[1]), float(r[2]))
+            for r in self._conn.execute(
+                "SELECT key_a, key_b, value FROM transition_cache "
+                "WHERE graph_id = ? ORDER BY updated_at, key_a, key_b",
+                (graph_id,),
+            )
+        ]
+
+    def count_transitions(self, graph_name: str) -> int:
+        """Number of spilled transition rows for *graph_name*."""
+        graph_id = self._graph_id(graph_name)
+        row = self._conn.execute(
+            "SELECT COUNT(*) FROM transition_cache WHERE graph_id = ?",
+            (graph_id,),
+        ).fetchone()
+        return int(row[0])
+
+    # ------------------------------------------------------------------ #
     # Results
     # ------------------------------------------------------------------ #
 

@@ -14,9 +14,16 @@ v2 adds ``corpora``: appendable state collections with their incrementally
 extended pairwise SND matrices (:class:`repro.snd.engine.Corpus`), so the
 §9 metric-space workloads can persist and resume growing corpora instead
 of recomputing ``N·(N-1)/2`` pairs per run.
+
+v3 adds ``transition_cache``: spilled entries of the in-memory
+:class:`repro.snd.cache.TransitionCache` (one solved SND value keyed by
+the ordered state-fingerprint pair), so a restarted server warms its
+cache from the store and answers a previously-served trace with zero
+fresh solves. Fingerprints are the raw opinion-vector bytes — content
+keys, valid across processes and releases.
 """
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 DDL = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -85,5 +92,15 @@ CREATE TABLE IF NOT EXISTS corpora (
 );
 
 CREATE INDEX IF NOT EXISTS idx_corpora_graph ON corpora (graph_id, name);
+""",
+    3: """
+CREATE TABLE IF NOT EXISTS transition_cache (
+    graph_id    INTEGER NOT NULL REFERENCES graphs(id) ON DELETE CASCADE,
+    key_a       BLOB NOT NULL,
+    key_b       BLOB NOT NULL,
+    value       REAL NOT NULL,
+    updated_at  TEXT NOT NULL DEFAULT (datetime('now')),
+    PRIMARY KEY (graph_id, key_a, key_b)
+) WITHOUT ROWID;
 """,
 }

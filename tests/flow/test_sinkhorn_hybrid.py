@@ -310,7 +310,7 @@ class TestDiagnostics:
         )
         snap = metrics.snapshot()
         assert snap["max_screen_error_bound"] == 0.0  # inf = "uncertified"
-        assert snap["screen_error_bound"] == float("inf")  # but last is honest
+        assert snap["last_screen_error_bound"] == float("inf")  # but last is honest
 
 
 # --------------------------------------------------------------------- #

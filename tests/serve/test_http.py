@@ -14,7 +14,7 @@ import pytest
 
 from repro.cli import main
 from repro.exceptions import SchedulerSaturatedError
-from repro.serve import SNDService
+from repro.serve import EngineConfig, SNDService
 from repro.serve.http import BackgroundServer
 
 
@@ -48,7 +48,11 @@ def store_path(tmp_path_factory):
 
 @pytest.fixture
 def server(store_path):
-    with BackgroundServer(SNDService(store_path, clusters=2)) as srv:
+    # persistence off: these tests share one module-scoped store, and a
+    # warm-loaded transition cache would break the counter-asserted
+    # solve/coalesce invariants (persistence has its own test module).
+    config = EngineConfig(clusters=2, persist_transitions=False)
+    with BackgroundServer(SNDService(store_path, config=config)) as srv:
         yield srv
 
 
@@ -77,41 +81,41 @@ def _post(server, path, payload, timeout=60, method="POST"):
 
 class TestRoutes:
     def test_healthz(self, server):
-        status, body = _get(server, "/healthz")
+        status, body = _get(server, "/v1/healthz")
         assert status == 200
         assert body == {"ok": True}
 
     def test_distance(self, server):
-        status, body = _post(server, "/distance", {"name": "t", "i": 0, "j": 1})
+        status, body = _post(server, "/v1/distance", {"name": "t", "i": 0, "j": 1})
         assert status == 200
         assert body["distance"] >= 0
 
     def test_series_matches_service(self, server):
-        status, body = _post(server, "/series", {"name": "t"})
+        status, body = _post(server, "/v1/series", {"name": "t"})
         assert status == 200
         expected = server.server.service.series_distances("t")
         assert np.array_equal(np.array(body["distances"]), expected)
 
     def test_series_non_snd_measure(self, server):
-        status, body = _post(server, "/series", {"name": "t", "measure": "hamming"})
+        status, body = _post(server, "/v1/series", {"name": "t", "measure": "hamming"})
         assert status == 200
         assert len(body["distances"]) == 4
 
     def test_matrix(self, server):
-        status, body = _post(server, "/matrix", {"name": "t"})
+        status, body = _post(server, "/v1/matrix", {"name": "t"})
         assert status == 200
         matrix = np.array(body["matrix"])
         assert matrix.shape == (5, 5)
         assert np.array_equal(matrix, matrix.T)
 
     def test_corpora_listing(self, server):
-        status, body = _get(server, "/corpora")
+        status, body = _get(server, "/v1/corpora")
         assert status == 200
         assert {"graph": "t", "corpus": "c", "n_states": 3} in body
 
     def test_corpus_query(self, server):
         status, body = _post(
-            server, "/corpus/query",
+            server, "/v1/corpus/query",
             {"name": "t", "corpus": "c", "state": 0, "k": 2},
         )
         assert status == 200
@@ -120,8 +124,8 @@ class TestRoutes:
         assert neighbours[0]["distance"] <= neighbours[1]["distance"]
 
     def test_stats_after_work(self, server):
-        _post(server, "/distance", {"name": "t", "i": 0, "j": 1})
-        status, body = _get(server, "/stats")
+        _post(server, "/v1/distance", {"name": "t", "i": 0, "j": 1})
+        status, body = _get(server, "/v1/stats")
         assert status == 200
         shard = body["shards"]["t"]
         assert shard["scheduler"]["requested"] >= 1
@@ -131,13 +135,13 @@ class TestRoutes:
         # Two sequential requests over default urllib behaviour plus an
         # explicit probe that the server answers repeatedly.
         for _ in range(3):
-            status, _body = _get(server, "/healthz")
+            status, _body = _get(server, "/v1/healthz")
             assert status == 200
 
 
 class TestWatchStreaming:
     def test_watch_streams_ndjson(self, server):
-        url = f"http://{server.host}:{server.port}/watch"
+        url = f"http://{server.host}:{server.port}/v1/watch"
         request = urllib.request.Request(
             url, data=json.dumps({"name": "t", "window": 3}).encode(),
             method="POST",
@@ -157,7 +161,7 @@ class TestWatchStreaming:
         assert all(s["flagged"] in (True, False) for s in scored)
 
     def test_watch_threshold(self, server):
-        url = f"http://{server.host}:{server.port}/watch"
+        url = f"http://{server.host}:{server.port}/v1/watch"
         request = urllib.request.Request(
             url,
             data=json.dumps({"name": "t", "window": 3, "threshold": 1e9}).encode(),
@@ -179,44 +183,47 @@ class TestErrorMapping:
     def test_unknown_route_404(self, server):
         status, body = _get(server, "/nope")
         assert status == 404
-        assert "no such route" in body["error"]
+        assert body["error"]["code"] == "not_found"
+        assert "no such route" in body["error"]["message"]
 
     def test_unknown_post_route_404(self, server):
         status, body = _post(server, "/nope", {})
         assert status == 404
 
     def test_unknown_graph_404(self, server):
-        status, body = _post(server, "/series", {"name": "missing"})
+        status, body = _post(server, "/v1/series", {"name": "missing"})
         assert status == 404
-        assert "no graph" in body["error"]
+        assert "no graph" in body["error"]["message"]
 
     def test_unknown_corpus_404(self, server):
         status, body = _post(
-            server, "/corpus/query", {"name": "t", "corpus": "missing", "state": 0}
+            server, "/v1/corpus/query", {"name": "t", "corpus": "missing", "state": 0}
         )
         assert status == 404
 
     def test_missing_field_400(self, server):
-        status, body = _post(server, "/distance", {"name": "t", "i": 0})
+        status, body = _post(server, "/v1/distance", {"name": "t", "i": 0})
         assert status == 400
-        assert "missing required field 'j'" in body["error"]
+        assert body["error"]["code"] == "bad_request"
+        assert "missing required field 'j'" in body["error"]["message"]
+        assert body["error"]["detail"] == {"field": "j"}
 
     def test_malformed_json_400(self, server):
-        status, body = _post(server, "/distance", b"{not json")
+        status, body = _post(server, "/v1/distance", b"{not json")
         assert status == 400
 
     def test_non_object_body_400(self, server):
-        status, body = _post(server, "/distance", b"[1, 2]")
+        status, body = _post(server, "/v1/distance", b"[1, 2]")
         assert status == 400
-        assert "JSON object" in body["error"]
+        assert "JSON object" in body["error"]["message"]
 
     def test_out_of_range_index_400(self, server):
-        status, body = _post(server, "/distance", {"name": "t", "i": 0, "j": 99})
+        status, body = _post(server, "/v1/distance", {"name": "t", "i": 0, "j": 99})
         assert status == 400
-        assert "out of range" in body["error"]
+        assert "out of range" in body["error"]["message"]
 
     def test_unsupported_method_405(self, server):
-        status, body = _post(server, "/distance", {}, method="PUT")
+        status, body = _post(server, "/v1/distance", {}, method="PUT")
         assert status == 405
 
     def test_saturated_scheduler_503(self, server, monkeypatch):
@@ -224,9 +231,62 @@ class TestErrorMapping:
             raise SchedulerSaturatedError("scheduler queue full (4096 pending)")
 
         monkeypatch.setattr(server.server.service, "distance_pair", saturated)
-        status, body = _post(server, "/distance", {"name": "t", "i": 0, "j": 1})
+        status, body = _post(server, "/v1/distance", {"name": "t", "i": 0, "j": 1})
         assert status == 503
-        assert "full" in body["error"]
+        assert body["error"]["code"] == "saturated"
+        assert "full" in body["error"]["message"]
+
+
+class TestApiVersioning:
+    """The /v1 prefix is canonical; unversioned paths are deprecated
+    aliases that keep serving but carry a ``Deprecation: true`` header."""
+
+    def _raw_get(self, server, path):
+        url = f"http://{server.host}:{server.port}{path}"
+        try:
+            with urllib.request.urlopen(url, timeout=30) as resp:
+                return resp.status, dict(resp.headers), resp.read()
+        except urllib.error.HTTPError as exc:
+            return exc.code, dict(exc.headers), exc.read()
+
+    def test_versioned_route_no_deprecation_header(self, server):
+        status, headers, _body = self._raw_get(server, "/v1/healthz")
+        assert status == 200
+        assert "Deprecation" not in headers
+
+    def test_unversioned_alias_still_serves(self, server):
+        status, headers, body = self._raw_get(server, "/healthz")
+        assert status == 200
+        assert json.loads(body) == {"ok": True}
+        assert headers["Deprecation"] == "true"
+
+    def test_unversioned_post_alias(self, server):
+        status, body = _post(server, "/distance", {"name": "t", "i": 0, "j": 1})
+        assert status == 200
+        assert body["distance"] >= 0
+
+    def test_unversioned_error_carries_deprecation(self, server):
+        status, headers, body = self._raw_get(server, "/bogus")
+        assert status == 404
+        assert headers["Deprecation"] == "true"
+        assert json.loads(body)["error"]["code"] == "not_found"
+
+    def test_client_identity_headers_reach_scheduler(self, server):
+        url = f"http://{server.host}:{server.port}/v1/distance"
+        request = urllib.request.Request(
+            url,
+            data=json.dumps({"name": "t", "i": 0, "j": 1}).encode(),
+            method="POST",
+            headers={"X-Client": "TestClient-A", "X-Priority": "high"},
+        )
+        with urllib.request.urlopen(request, timeout=60) as resp:
+            assert resp.status == 200
+        _status, stats = _get(server, "/v1/stats")
+        clients = stats["shards"]["t"]["scheduler"]["clients"]
+        # Identity case is preserved end to end (header values must not
+        # be lowercased by the request parser).
+        assert "TestClient-A" in clients
+        assert clients["TestClient-A"]["requested"] == 1
 
 
 class TestCoalescingOverHttp:
@@ -234,7 +294,8 @@ class TestCoalescingOverHttp:
         """N concurrent clients requesting the same pair: exactly one
         solve, everyone gets the same float — asserted via /stats."""
         n_clients = 8
-        with BackgroundServer(SNDService(store_path, clusters=2)) as server:
+        config = EngineConfig(clusters=2, persist_transitions=False)
+        with BackgroundServer(SNDService(store_path, config=config)) as server:
             results: list[float] = [None] * n_clients
             errors: list[BaseException] = []
             barrier = threading.Barrier(n_clients)
@@ -243,7 +304,7 @@ class TestCoalescingOverHttp:
                 try:
                     barrier.wait(timeout=30)
                     status, body = _post(
-                        server, "/distance", {"name": "t", "i": 0, "j": 1}
+                        server, "/v1/distance", {"name": "t", "i": 0, "j": 1}
                     )
                     assert status == 200
                     results[idx] = body["distance"]
@@ -261,7 +322,7 @@ class TestCoalescingOverHttp:
             assert not errors
             assert len(set(results)) == 1
 
-            _status, stats = _get(server, "/stats")
+            _status, stats = _get(server, "/v1/stats")
             sched = stats["shards"]["t"]["scheduler"]
             assert sched["requested"] == n_clients
             assert sched["solved"] == 1  # the counter-asserted guarantee
@@ -277,14 +338,18 @@ class TestHybridOverHttp:
         from repro.flow.sinkhorn_hybrid import HYBRID_METRICS
 
         before = HYBRID_METRICS.snapshot()["solves"]
-        service = SNDService(store_path, clusters=2, solver="sinkhorn-hybrid")
+        service = SNDService(
+            store_path, config=EngineConfig(
+                clusters=2, solver="sinkhorn-hybrid", persist_transitions=False
+            )
+        )
         with BackgroundServer(service) as server:
             # States 0 and 2 differ (0/1 are identical -> distance 0 with
             # no transportation solve, which would leave the metrics flat).
-            status, body = _post(server, "/distance", {"name": "t", "i": 0, "j": 2})
+            status, body = _post(server, "/v1/distance", {"name": "t", "i": 0, "j": 2})
             assert status == 200
             assert body["distance"] > 0
-            _status, stats = _get(server, "/stats")
+            _status, stats = _get(server, "/v1/stats")
             hybrid = stats["shards"]["t"]["hybrid"]
             assert hybrid["solves"] > before
             assert 0.0 <= hybrid["last_support_density"] <= 1.0
@@ -305,13 +370,19 @@ class TestHybridOverHttp:
             flow_mod._TRANSPORT_SOLVERS, "sinkhorn-hybrid", throttled
         )
         service = SNDService(
-            store_path, clusters=2, solver="sinkhorn-hybrid", max_pending=1
+            store_path,
+            config=EngineConfig(
+                clusters=2,
+                solver="sinkhorn-hybrid",
+                max_pending=1,
+                persist_transitions=False,
+            ),
         )
         with BackgroundServer(service) as server:
             first: list = []
 
             def slow_client() -> None:
-                first.append(_post(server, "/distance", {"name": "t", "i": 0, "j": 2}))
+                first.append(_post(server, "/v1/distance", {"name": "t", "i": 0, "j": 2}))
 
             t = threading.Thread(target=slow_client)
             t.start()
@@ -319,7 +390,7 @@ class TestHybridOverHttp:
 
             # Swap in a non-blocking submit over the same genuine path so the
             # second request observes saturation instead of queueing behind it.
-            def nonblocking_distance_pair(graph_name, i, j):
+            def nonblocking_distance_pair(graph_name, i, j, **_kwargs):
                 shard = service.shard(graph_name)
                 engine = shard.engine()
                 return engine.scheduler.submit(
@@ -332,7 +403,7 @@ class TestHybridOverHttp:
             monkeypatch.setattr(
                 service, "distance_pair", nonblocking_distance_pair
             )
-            status, body = _post(server, "/distance", {"name": "t", "i": 2, "j": 3})
+            status, body = _post(server, "/v1/distance", {"name": "t", "i": 2, "j": 3})
             assert status == 503
             assert "error" in body
 
@@ -340,7 +411,7 @@ class TestHybridOverHttp:
             t.join(timeout=120)
             assert first and first[0][0] == 200
 
-            _status, stats = _get(server, "/stats")
+            _status, stats = _get(server, "/v1/stats")
             sched = stats["shards"]["t"]["scheduler"]
             assert sched["rejected"] == 1
             assert sched["solved"] >= 1
@@ -374,12 +445,12 @@ class TestServeSubprocess:
 
             addr = _Addr()
             addr.port = port
-            status, body = _get(addr, "/healthz")
+            status, body = _get(addr, "/v1/healthz")
             assert (status, body) == (200, {"ok": True})
-            status, body = _post(addr, "/distance", {"name": "t", "i": 0, "j": 1})
+            status, body = _post(addr, "/v1/distance", {"name": "t", "i": 0, "j": 1})
             assert status == 200
             assert body["distance"] >= 0
-            status, _stats = _get(addr, "/stats")
+            status, _stats = _get(addr, "/v1/stats")
             assert status == 200
         finally:
             proc.send_signal(signal.SIGINT)

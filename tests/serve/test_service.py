@@ -5,7 +5,7 @@ import pytest
 
 from repro.cli import main
 from repro.exceptions import StoreError, ValidationError
-from repro.serve import SNDService
+from repro.serve import EngineConfig, SNDService
 
 
 @pytest.fixture(scope="module")
@@ -28,7 +28,7 @@ def store_path(tmp_path_factory):
 
 @pytest.fixture
 def service(store_path):
-    with SNDService(store_path, clusters=2) as svc:
+    with SNDService(store_path, config=EngineConfig(clusters=2)) as svc:
         yield svc
 
 
@@ -167,7 +167,7 @@ class TestStatsAndLifecycle:
         assert service.names() == ["t"]
 
     def test_close_idempotent(self, store_path):
-        svc = SNDService(store_path, clusters=2)
+        svc = SNDService(store_path, config=EngineConfig(clusters=2))
         svc.series_distances("t")
         svc.close()
         svc.close()  # second close must be a no-op
@@ -176,7 +176,10 @@ class TestStatsAndLifecycle:
 
 class TestJobsSpellings:
     def test_zero_jobs_means_serial_at_service_boundary(self, store_path):
-        svc = SNDService(store_path, clusters=2, jobs=0)
+        # jobs=0 is only reachable through the legacy-kwargs shim;
+        # EngineConfig itself rejects it.
+        with pytest.warns(DeprecationWarning):
+            svc = SNDService(store_path, clusters=2, jobs=0)
         assert svc.jobs == 1
 
     def test_normalise_jobs(self):

@@ -404,9 +404,129 @@ class TestThrottledHybridSolves:
                 "screened_solves",
                 "support_density",
                 "last_support_density",
-                "screen_error_bound",
+                "last_screen_error_bound",
                 "max_screen_error_bound",
             ):
                 assert key in stats["hybrid"]
             # The pair's reduced solves all went through the hybrid tier.
             assert stats["hybrid"]["solves"] > before
+
+
+class TestClientFairness:
+    """Per-client identity accounting, priority-scaled quotas, and the
+    fail-fast ClientSaturatedError path."""
+
+    def test_quota_disabled_by_default(self, graph):
+        with fresh_engine(graph) as engine:
+            assert engine.scheduler.client_max_pending is None
+            assert engine.scheduler.client_quota("normal") is None
+
+    def test_priority_scales_quota(self, graph):
+        from repro.snd.scheduler import PRIORITY_WEIGHTS
+
+        with fresh_engine(graph, client_max_pending=4) as engine:
+            sched = engine.scheduler
+            assert sched.client_quota("normal") == 4
+            assert sched.client_quota("high") == int(4 * PRIORITY_WEIGHTS["high"])
+            assert sched.client_quota("low") == 2
+
+    def test_quota_floor_is_one(self, graph):
+        with fresh_engine(graph, client_max_pending=1) as engine:
+            # 1 * 0.5 truncates to 0 -> clamped so every client can
+            # always make progress.
+            assert engine.scheduler.client_quota("low") == 1
+
+    def test_unknown_priority_rejected(self, graph):
+        states = distinct_states(30, 2)
+        with fresh_engine(graph) as engine:
+            with pytest.raises(ValidationError):
+                engine.scheduler.submit(states[0], states[1], priority="urgent")
+
+    def test_bad_client_max_pending_rejected(self):
+        with pytest.raises(ValidationError):
+            PairScheduler(object(), client_max_pending=0)
+
+    def test_per_client_counters(self, graph):
+        states = distinct_states(30, 3)
+        with fresh_engine(graph) as engine:
+            sched = engine.scheduler
+            sched.evaluate(states, [(0, 1), (1, 2)], client="alice")
+            sched.evaluate(states, [(0, 1)], client="bob",
+                           transitions=None)
+            stats = sched.stats()
+            assert stats["clients"]["alice"]["requested"] == 2
+            assert stats["clients"]["alice"]["solved"] == 2
+            assert stats["clients"]["alice"]["pending"] == 0
+            assert stats["clients"]["bob"]["requested"] == 1
+
+    def test_anonymous_requests_exempt_from_quota(self, graph):
+        states = distinct_states(30, 4)
+        pairs = [(0, 1), (1, 2), (2, 3)]
+        with fresh_engine(graph, client_max_pending=1) as engine:
+            # No client identity: the per-client cap never applies.
+            values = engine.scheduler.evaluate(states, pairs)
+            assert len(values) == 3
+            assert engine.scheduler.client_rejected == 0
+
+    def test_greedy_client_hits_429_path_while_other_flows(self, graph):
+        """One client saturates its quota while a solve is held in
+        flight; its next distinct pair fails fast with
+        ClientSaturatedError, the other client's request still admits."""
+        from repro.exceptions import ClientSaturatedError
+
+        states = distinct_states(30, 6)
+        with fresh_engine(graph, client_max_pending=1) as engine:
+            sched = engine.scheduler
+            solve_started = threading.Event()
+            hold = threading.Event()
+            original = engine._solve_pairs_local
+
+            def slow_solve(sts, pairs):
+                solve_started.set()
+                hold.wait(timeout=30)
+                return original(sts, pairs)
+
+            engine._solve_pairs_local = slow_solve
+            first: list[float] = []
+
+            def greedy_first():
+                first.append(
+                    sched.submit(states[0], states[1], client="greedy")
+                )
+
+            t = threading.Thread(target=greedy_first)
+            t.start()
+            try:
+                assert solve_started.wait(timeout=30)
+                # greedy now holds its whole quota (1 pending pair): a
+                # distinct second pair fails fast, it does not queue.
+                with pytest.raises(ClientSaturatedError):
+                    sched.submit(
+                        states[2], states[3], client="greedy", block=False
+                    )
+            finally:
+                hold.set()
+                t.join(timeout=60)
+            # A different identity was never rationed: its request admits
+            # and solves normally.
+            polite = sched.submit(states[4], states[5], client="polite")
+            assert polite >= 0
+            stats = sched.stats()
+            assert stats["client_rejected"] == 1
+            assert stats["clients"]["greedy"]["rejected"] == 1
+            assert stats["clients"]["greedy"]["solved"] == 1
+            assert stats["clients"]["polite"]["rejected"] == 0
+            assert first and first[0] >= 0
+
+    def test_coalesced_duplicates_do_not_consume_quota(self, graph):
+        """Duplicates of an in-flight pair attach to the existing entry,
+        so a client replaying one hot pair never trips its own quota."""
+        states = distinct_states(30, 2)
+        with fresh_engine(graph, client_max_pending=1) as engine:
+            sched = engine.scheduler
+            values = sched.evaluate(
+                states, [(0, 1), (0, 1), (0, 1)], client="replayer"
+            )
+            assert len(set(values)) == 1
+            assert sched.client_rejected == 0
+            assert sched.stats()["clients"]["replayer"]["requested"] == 3

@@ -210,7 +210,7 @@ class TestMigration:
         conn.commit()
         conn.close()
         with ExperimentStore(path) as store:
-            assert store.schema_version == 2
+            assert store.schema_version == 3
             # The v2 table exists and is usable.
             store.save_graph("g", graph)
             series = StateSeries([NetworkState.neutral(20)])
@@ -232,4 +232,63 @@ class TestMigration:
             ExperimentStore(path)
 
     def test_fresh_database_lands_on_current_version(self, store):
-        assert store.schema_version == 2
+        assert store.schema_version == 3
+
+
+class TestTransitionCachePersistence:
+    """The v3 transition_cache table: upsert semantics, ordering, and
+    cascade deletion with the owning graph."""
+
+    def test_round_trip(self, store, graph):
+        store.save_graph("g", graph)
+        rows = [(b"ka1", b"kb1", 0.25), (b"ka2", b"kb2", 1.5)]
+        assert store.save_transitions("g", rows) == 2
+        assert store.count_transitions("g") == 2
+        loaded = store.load_transitions("g")
+        assert sorted(loaded) == sorted(rows)
+        assert all(isinstance(a, bytes) and isinstance(b, bytes)
+                   for a, b, _v in loaded)
+
+    def test_upsert_overwrites_value(self, store, graph):
+        store.save_graph("g", graph)
+        store.save_transitions("g", [(b"a", b"b", 1.0)])
+        store.save_transitions("g", [(b"a", b"b", 2.0)])
+        assert store.count_transitions("g") == 1
+        assert store.load_transitions("g")[0][2] == 2.0
+
+    def test_empty_rows_noop(self, store, graph):
+        store.save_graph("g", graph)
+        assert store.save_transitions("g", []) == 0
+        assert store.load_transitions("g") == []
+
+    def test_unknown_graph_rejected(self, store):
+        with pytest.raises(StoreError):
+            store.save_transitions("missing", [(b"a", b"b", 1.0)])
+        with pytest.raises(StoreError):
+            store.load_transitions("missing")
+
+    def test_per_graph_isolation(self, store, graph):
+        store.save_graph("g1", graph)
+        store.save_graph("g2", graph)
+        store.save_transitions("g1", [(b"a", b"b", 1.0)])
+        assert store.load_transitions("g2") == []
+
+    def test_v2_database_gains_transition_table(self, tmp_path, graph):
+        """A pre-v3 store (no transition_cache table) upgrades in place
+        on open and immediately accepts spills."""
+        import sqlite3
+
+        path = tmp_path / "v2.sqlite"
+        with ExperimentStore(path) as store:
+            store.save_graph("g", graph)
+        conn = sqlite3.connect(path)
+        conn.execute("DROP TABLE transition_cache")
+        conn.execute(
+            "UPDATE meta SET value = '2' WHERE key = 'schema_version'"
+        )
+        conn.commit()
+        conn.close()
+        with ExperimentStore(path) as store:
+            assert store.schema_version == 3
+            store.save_transitions("g", [(b"a", b"b", 0.5)])
+            assert store.count_transitions("g") == 1
