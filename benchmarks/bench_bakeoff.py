@@ -1,0 +1,138 @@
+"""Bake-off — SND vs scalar polarization measures, head to head.
+
+Runs :func:`repro.analysis.bakeoff.run_bakeoff`: anomaly ROC (AUC and
+TPR@FPR<=0.3, the §6.2 protocol) and prediction accuracy (§6.3 protocol)
+for SND against the scalar literature baselines (esp, disagreement,
+bimodality — see :mod:`repro.analysis.baselines`) and hamming, over two
+synthetic k-pole regimes (bipolar and tripolar voting dynamics) and the
+simulated political-Twitter pipeline.
+
+Writes the full result tree to ``BENCH_bakeoff.json`` (refreshed by the
+CI bake-off job with ``--quick``). The headline the harness exists to
+check: scalar measures are competitive on bipolar workloads but lose
+information — and rank — once ``k > 2`` forces them onto one axis.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from common import print_table, record
+from repro.analysis.bakeoff import (
+    DEFAULT_MEASURES,
+    default_regimes,
+    run_bakeoff,
+)
+
+JSON_PATH = Path(__file__).parent / "BENCH_bakeoff.json"
+
+FULL = dict(
+    n_nodes=400,
+    n_states=16,
+    twitter_users=None,  # paper-scale default of the Twitter pipeline
+    n_targets=10,
+    n_repeats=3,
+    n_assignments=40,
+)
+QUICK = dict(
+    n_nodes=150,
+    n_states=10,
+    twitter_users=100,
+    n_targets=6,
+    n_repeats=2,
+    n_assignments=12,
+)
+
+
+def run_experiment(verbose: bool = True, quick: bool = False) -> dict:
+    cfg = QUICK if quick else FULL
+    regimes = default_regimes(n_nodes=cfg["n_nodes"], n_states=cfg["n_states"])
+    results = run_bakeoff(
+        regimes=regimes,
+        include_twitter=True,
+        twitter_users=cfg["twitter_users"],
+        n_targets=cfg["n_targets"],
+        window=3,
+        n_repeats=cfg["n_repeats"],
+        n_assignments=cfg["n_assignments"],
+        seed=7,
+    )
+    results["config"] = {"quick": quick, **cfg}
+
+    rows = []
+    for regime_name, entry in results["regimes"].items():
+        for measure in results["measures"]:
+            anomaly = entry["anomaly"][measure]
+            prediction = entry["prediction"][measure]
+            rows.append(
+                [
+                    regime_name,
+                    measure,
+                    anomaly["auc"],
+                    anomaly["tpr_at_fpr_0.3"],
+                    prediction["accuracy_mean"],
+                    prediction["accuracy_std"],
+                ]
+            )
+            record(
+                "bakeoff",
+                "auc",
+                anomaly["auc"],
+                regime=regime_name,
+                measure=measure,
+            )
+            record(
+                "bakeoff",
+                "accuracy",
+                prediction["accuracy_mean"],
+                regime=regime_name,
+                measure=measure,
+            )
+    print_table(
+        "Bake-off — SND vs scalar polarization measures "
+        f"({'quick' if quick else 'full'} tier)",
+        ["regime", "measure", "AUC", "TPR@0.3", "acc %", "± %"],
+        rows,
+        verbose=verbose,
+    )
+
+    JSON_PATH.write_text(
+        json.dumps(results, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    if verbose:
+        print(f"wrote {JSON_PATH}")
+    return results
+
+
+def test_bakeoff(benchmark):
+    outputs = benchmark.pedantic(
+        run_experiment, kwargs={"verbose": False, "quick": True}, rounds=1
+    )
+    # Coverage contract: SND plus >= 2 scalar baselines, >= 2 synthetic
+    # regimes (one of them genuinely multipolar) plus the Twitter leg,
+    # each scored on both anomaly ROC and prediction.
+    assert "snd" in outputs["measures"]
+    assert len(set(outputs["measures"]) & {"esp", "disagreement", "bimodality"}) >= 2
+    regimes = outputs["regimes"]
+    assert {"bipolar-burst", "tripolar-drift", "twitter"} <= set(regimes)
+    assert regimes["tripolar-drift"]["n_poles"] >= 3
+    for entry in regimes.values():
+        for measure in outputs["measures"]:
+            assert 0.0 <= entry["anomaly"][measure]["auc"] <= 1.0
+            assert 0.0 <= entry["anomaly"][measure]["tpr_at_fpr_0.3"] <= 1.0
+            assert 0.0 <= entry["prediction"][measure]["accuracy_mean"] <= 100.0
+    assert JSON_PATH.exists()
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI tier: smaller regimes, fewer prediction repeats",
+    )
+    args = parser.parse_args()
+    run_experiment(quick=args.quick)

@@ -1,5 +1,6 @@
 """Application layer: anomaly detection (§6.2), ROC scoring, opinion
-prediction (§6.3) and its non-distance baselines."""
+prediction (§6.3), its non-distance baselines, and the polarization-
+measure bake-off (:mod:`repro.analysis.bakeoff`)."""
 
 from repro.analysis.anomaly import (
     AnomalyDetectionResult,
@@ -7,7 +8,20 @@ from repro.analysis.anomaly import (
     detect_anomalies,
     normalize_distance_series,
 )
-from repro.analysis.baselines import community_lp_predict, nhood_voting_predict
+from repro.analysis.bakeoff import (
+    DEFAULT_MEASURES,
+    BakeoffRegime,
+    default_regimes,
+    run_bakeoff,
+)
+from repro.analysis.baselines import (
+    bimodality_coefficient,
+    community_lp_predict,
+    disagreement_index,
+    nhood_voting_predict,
+    opinion_spectrum,
+    polarization_index,
+)
 from repro.analysis.extrapolation import extrapolate_next
 from repro.analysis.metric_space import (
     KnnStateClassifier,
@@ -35,4 +49,12 @@ __all__ = [
     "PredictionOutcome",
     "nhood_voting_predict",
     "community_lp_predict",
+    "opinion_spectrum",
+    "polarization_index",
+    "disagreement_index",
+    "bimodality_coefficient",
+    "BakeoffRegime",
+    "DEFAULT_MEASURES",
+    "default_regimes",
+    "run_bakeoff",
 ]

@@ -1,4 +1,6 @@
-"""Non-distance-based opinion-prediction baselines (§6.3).
+"""Baselines: §6.3 opinion predictors and scalar polarization measures.
+
+Prediction baselines (non-distance-based):
 
 * ``nhood-voting`` — each target user's opinion is drawn by probabilistic
   voting over her *active in-neighbors*' opinions (uniformly random when
@@ -6,6 +8,30 @@
 * ``community-lp`` — Conover et al. (2011): detect communities via label
   propagation, then predict each target by the dominant opinion of her
   community (random fallback for undecided communities).
+
+Scalar polarization measures (the bake-off baselines, registered in
+:func:`repro.distances.registry.default_registry` as change-in-measure
+distances ``|P(G_2) - P(G_1)|``):
+
+* ``esp`` — :func:`polarization_index`, the mean-centered squared opinion
+  norm ``Σ_i (x_i - x̄)²`` (the "polarization" objective of Musco, Musco
+  & Tsourakakis, *Minimizing Polarization and Disagreement in Social
+  Networks*, WWW 2018 — an extremity-of-spectrum / variance measure).
+* ``disagreement`` — :func:`disagreement_index`, the Laplacian quadratic
+  form ``x̃ᵀ L x̃`` over mean-centered opinions (cross-edge conflict;
+  same paper's "disagreement" objective, a spectral measure).
+* ``bimodality`` — :func:`bimodality_coefficient`, Sarle's
+  ``(skew² + 1) / kurtosis`` over active users' opinions, one of the
+  distribution-shape measures catalogued in the how-to-quantify-
+  polarization literature (large when the opinion distribution splits
+  into two camps).
+
+All three consume a scalar opinion spectrum. Bipolar states use their
+``±1`` values directly; k-pole states are collapsed by
+:func:`opinion_spectrum` onto the equispaced embedding of ``[-1, 1]`` —
+the canonical (and lossy) flattening whose failure modes on ``k > 2``
+regimes the bake-off (:mod:`repro.analysis.bakeoff`) is designed to
+expose.
 """
 
 from __future__ import annotations
@@ -19,7 +45,14 @@ from repro.graph.digraph import DiGraph
 from repro.opinions.state import NEGATIVE, POSITIVE, NetworkState
 from repro.utils.rng import as_rng
 
-__all__ = ["nhood_voting_predict", "community_lp_predict"]
+__all__ = [
+    "nhood_voting_predict",
+    "community_lp_predict",
+    "opinion_spectrum",
+    "polarization_index",
+    "disagreement_index",
+    "bimodality_coefficient",
+]
 
 _POLAR = np.array([POSITIVE, NEGATIVE], dtype=np.int8)
 
@@ -94,3 +127,74 @@ def community_lp_predict(
         else:
             out[idx] = _POLAR[rng.integers(2)]
     return out
+
+
+# --------------------------------------------------------------------- #
+# Scalar polarization measures (bake-off baselines)
+# --------------------------------------------------------------------- #
+
+
+def opinion_spectrum(state) -> np.ndarray:
+    """Scalar opinion vector of *state* (float64, one entry per user).
+
+    Bipolar :class:`~repro.opinions.state.NetworkState` values pass
+    through (``+1 / 0 / -1``). k-pole states (anything exposing
+    ``n_poles``) are collapsed onto the equispaced embedding of
+    ``[-1, 1]``: pole ``p`` maps to ``-1 + 2·(p-1)/(k-1)`` and neutral
+    users to ``0`` — for ``k = 2`` that is exactly the bipolar convention
+    (pole 1 → +1, pole 2 → -1 after orientation), for ``k > 2`` it is the
+    canonical lossy flattening every scalar measure must make (interior
+    poles collide with neutrality — see the bake-off docs).
+    """
+    n_poles = getattr(state, "n_poles", None)
+    values = state.values.astype(np.float64)
+    if n_poles is None:
+        return values
+    spectrum = np.zeros_like(values)
+    active = values > 0
+    # Pole p -> +1 - 2*(p-1)/(k-1): pole 1 sits at +1 (the bipolar
+    # positive), pole k at -1, interior poles equispaced between.
+    spectrum[active] = 1.0 - 2.0 * (values[active] - 1.0) / (n_poles - 1)
+    return spectrum
+
+
+def polarization_index(state) -> float:
+    """Mean-centered squared opinion norm ``Σ_i (x_i - x̄)²`` (the
+    polarization objective of Musco et al., WWW 2018)."""
+    x = opinion_spectrum(state)
+    centered = x - x.mean()
+    return float(centered @ centered)
+
+
+def disagreement_index(state, laplacian) -> float:
+    """Laplacian quadratic form ``x̃ᵀ L x̃`` over mean-centered opinions
+    (cross-edge conflict; the disagreement objective of Musco et al., WWW
+    2018). *laplacian* is the combinatorial Laplacian, e.g. from
+    :func:`repro.graph.laplacian.laplacian_matrix` or
+    :meth:`~repro.distances.registry.DistanceContext.ensure_laplacian`.
+    """
+    x = opinion_spectrum(state)
+    centered = x - x.mean()
+    return float(centered @ (laplacian @ centered))
+
+
+def bimodality_coefficient(state) -> float:
+    """Sarle's bimodality coefficient ``(g₁² + 1) / g₂`` over the active
+    users' opinion spectrum (``g₁`` skewness, ``g₂`` Pearson kurtosis).
+
+    Approaches its maximum when the active opinions split into two
+    point camps; a state with fewer than two active users, or with all
+    active users in one camp (zero variance), scores ``0.0`` by
+    convention.
+    """
+    x = opinion_spectrum(state)
+    x = x[state.values != 0]
+    if x.size < 2:
+        return 0.0
+    centered = x - x.mean()
+    m2 = float(np.mean(centered**2))
+    if m2 == 0.0:
+        return 0.0
+    skew = float(np.mean(centered**3)) / m2**1.5
+    kurtosis = float(np.mean(centered**4)) / m2**2
+    return (skew**2 + 1.0) / kurtosis

@@ -63,6 +63,14 @@ class DistancePredictor:
         Random assignments sampled per prediction (the paper uses 100).
     extrapolation:
         Method for the ``d*`` estimate (see :func:`extrapolate_next`).
+    opinion_values:
+        The active-opinion alphabet sampled for hidden users. ``None``
+        (default) keeps the paper's bipolar ``{+1, -1}``; the multipolar
+        bake-off passes the pole labels ``[1, ..., k]`` so the same
+        randomised-search protocol runs over k-pole states (which must
+        then expose the same ``with_opinions`` / ``with_neutralized`` /
+        ``users_with`` surface — :class:`~repro.multipolar.state.
+        MultipolarState` does).
     """
 
     def __init__(
@@ -71,6 +79,7 @@ class DistancePredictor:
         *,
         n_assignments: int = 100,
         extrapolation: str = "linear",
+        opinion_values: Sequence[int] | None = None,
     ) -> None:
         if n_assignments < 1:
             raise PredictionError(
@@ -79,6 +88,15 @@ class DistancePredictor:
         self.distance_fn = distance_fn
         self.n_assignments = int(n_assignments)
         self.extrapolation = extrapolation
+        if opinion_values is None:
+            self.opinion_values = None
+        else:
+            values = np.asarray(opinion_values, dtype=np.int8)
+            if values.size < 2:
+                raise PredictionError(
+                    f"opinion_values needs at least two opinions, got {values!r}"
+                )
+            self.opinion_values = values
 
     # ------------------------------------------------------------------ #
 
@@ -118,7 +136,10 @@ class DistancePredictor:
         best_gap = np.inf
         best_assignment: np.ndarray | None = None
         best_distance = np.inf
-        opinions = np.array([POSITIVE, NEGATIVE], dtype=np.int8)
+        if self.opinion_values is not None:
+            opinions = self.opinion_values
+        else:
+            opinions = np.array([POSITIVE, NEGATIVE], dtype=np.int8)
         for _ in range(self.n_assignments):
             assignment = rng.choice(opinions, size=targets.size)
             candidate = current_incomplete.with_opinions(targets, assignment)
@@ -163,13 +184,60 @@ class DistancePredictor:
         recent = series[len(series) - 1 - window : len(series) - 1]
         accuracies = []
         for _ in range(n_repeats):
-            targets = _sample_balanced_targets(current, n_targets, rng)
+            if self.opinion_values is not None:
+                targets = _sample_targets_from_alphabet(
+                    current, n_targets, rng, self.opinion_values
+                )
+            else:
+                targets = _sample_balanced_targets(current, n_targets, rng)
             truth = current.values[targets]
             hidden = current.with_neutralized(targets)
             outcome = self.predict(recent, hidden, targets, seed=rng)
             accuracies.append(outcome.accuracy(truth) * 100.0)
         acc = np.asarray(accuracies)
         return float(acc.mean()), float(acc.std(ddof=0))
+
+
+def _sample_targets_from_alphabet(
+    state, n_targets: int, rng: np.random.Generator, opinion_values: np.ndarray
+) -> np.ndarray:
+    """Targets balanced across an arbitrary opinion alphabet (the k-pole
+    generalisation of :func:`_sample_balanced_targets`): round-robin over
+    the opinions' adopter pools, largest pools absorbing the remainder."""
+    pools = [state.users_with(int(v)) for v in opinion_values]
+    total = sum(p.size for p in pools)
+    if total < n_targets:
+        raise PredictionError(
+            f"state has only {total} active users, need {n_targets} targets"
+        )
+    base = n_targets // len(pools)
+    takes = [min(base, p.size) for p in pools]
+    # Distribute the remainder to pools with spare capacity (largest first,
+    # deterministic given the pool sizes).
+    shortfall = n_targets - sum(takes)
+    order = sorted(
+        range(len(pools)), key=lambda i: pools[i].size - takes[i], reverse=True
+    )
+    while shortfall > 0:
+        progressed = False
+        for i in order:
+            if shortfall == 0:
+                break
+            if takes[i] < pools[i].size:
+                takes[i] += 1
+                shortfall -= 1
+                progressed = True
+        if not progressed:  # pragma: no cover - guarded by the total check
+            raise PredictionError("not enough active users to sample targets")
+    chosen = np.concatenate(
+        [
+            rng.choice(pool, size=take, replace=False)
+            for pool, take in zip(pools, takes)
+            if take
+        ]
+    )
+    rng.shuffle(chosen)
+    return chosen
 
 
 def _sample_balanced_targets(

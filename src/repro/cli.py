@@ -22,6 +22,10 @@ Subcommands
     Run the long-lived HTTP distance service
     (:mod:`repro.serve.http`) over the store — the same
     :class:`~repro.serve.service.SNDService` the commands above use.
+``bakeoff``
+    Head-to-head of SND vs the scalar polarization baselines (anomaly
+    ROC + prediction accuracy over k-pole synthetic regimes and the
+    simulated Twitter pipeline — :mod:`repro.analysis.bakeoff`).
 ``experiment``
     Run one of the paper's experiments end-to-end and print its table.
 
@@ -305,6 +309,55 @@ def build_parser() -> argparse.ArgumentParser:
         "toward the sinkhorn-hybrid tier (default: library auto)",
     )
 
+    bake = sub.add_parser(
+        "bakeoff",
+        help="SND vs scalar polarization measures: anomaly ROC + "
+        "prediction over k-pole regimes and the Twitter pipeline",
+    )
+    bake.add_argument(
+        "--measures",
+        nargs="+",
+        default=None,
+        metavar="MEASURE",
+        help="measures to compare (default: snd esp disagreement "
+        "bimodality hamming)",
+    )
+    bake.add_argument(
+        "--nodes",
+        type=int,
+        default=None,
+        help="synthetic regime size before giant-component extraction "
+        "(default: stock regimes)",
+    )
+    bake.add_argument(
+        "--states",
+        type=int,
+        default=None,
+        help="states per synthetic regime (default: stock regimes)",
+    )
+    bake.add_argument(
+        "--no-twitter",
+        action="store_true",
+        help="skip the simulated-Twitter leg (synthetic regimes only)",
+    )
+    bake.add_argument(
+        "--twitter-users",
+        type=int,
+        default=None,
+        help="user count for the Twitter leg (default: paper scale)",
+    )
+    bake.add_argument("--targets", type=int, default=10)
+    bake.add_argument("--window", type=int, default=3)
+    bake.add_argument("--repeats", type=int, default=3)
+    bake.add_argument("--assignments", type=int, default=40)
+    bake.add_argument("--seed", type=int, default=7)
+    bake.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the full result tree to this JSON file",
+    )
+
     exp = sub.add_parser("experiment", help="run a paper experiment")
     exp.add_argument(
         "name",
@@ -359,7 +412,14 @@ def _make_service(args: argparse.Namespace):
     return SNDService(args.store, config=config)
 
 
-def _print_cache_stats(stats: dict | None) -> None:
+def _print_cache_stats(
+    stats: dict | None, measures: dict[str, int] | None = None
+) -> None:
+    if measures:
+        joined = "  ".join(
+            f"{name}={count}" for name, count in sorted(measures.items())
+        )
+        print(f"# measure requests: {joined}")
     if stats is None:
         print("# cache stats: no SND instance was used")
         return
@@ -410,7 +470,9 @@ def _cmd_distance(args: argparse.Namespace) -> int:
             f"(series_id={sid}) in {args.store}"
         )
     if args.cache_stats:
-        _print_cache_stats(service.cache_stats(args.name))
+        _print_cache_stats(
+            service.cache_stats(args.name), service.measure_requests()
+        )
     return 0
 
 
@@ -438,7 +500,9 @@ def _cmd_distance_matrix(args: argparse.Namespace) -> int:
             f"({args.measure} matrix) to {args.store}"
         )
     if args.cache_stats:
-        _print_cache_stats(service.cache_stats(args.name))
+        _print_cache_stats(
+            service.cache_stats(args.name), service.measure_requests()
+        )
     return 0
 
 
@@ -476,7 +540,7 @@ def _cmd_watch(args: argparse.Namespace) -> int:
             f"flagged: {flagged if flagged else 'none'}"
         )
         if args.cache_stats:
-            _print_cache_stats(engine.caches.stats())
+            _print_cache_stats(engine.caches.stats(), service.measure_requests())
     return 0
 
 
@@ -527,7 +591,9 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
             for rank, (idx, dist) in enumerate(neighbours):
                 print(f"{rank + 1:3d}. corpus[{idx}]  d={dist:.6g}")
         if args.cache_stats:
-            _print_cache_stats(shard.engine().caches.stats())
+            _print_cache_stats(
+                shard.engine().caches.stats(), service.measure_requests()
+            )
     return 0
 
 
@@ -551,6 +617,53 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         config = config.replace(flush_interval=args.flush_interval)
     service = SNDService(args.store, config=config)
     return serve_forever(service, host=args.host, port=args.port)
+
+
+def _cmd_bakeoff(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.bakeoff import (
+        DEFAULT_MEASURES,
+        default_regimes,
+        run_bakeoff,
+    )
+
+    measures = args.measures if args.measures else list(DEFAULT_MEASURES)
+    regimes = default_regimes(n_nodes=args.nodes, n_states=args.states)
+    results = run_bakeoff(
+        measures=measures,
+        regimes=regimes,
+        include_twitter=not args.no_twitter,
+        twitter_users=args.twitter_users,
+        n_targets=args.targets,
+        window=args.window,
+        n_repeats=args.repeats,
+        n_assignments=args.assignments,
+        seed=args.seed,
+        progress=lambda line: print(f"# {line}", file=sys.stderr),
+    )
+    header = (
+        f"{'regime':16s} {'measure':14s} {'auc':>6s} "
+        f"{'tpr@0.3':>8s} {'acc%':>6s} {'±':>5s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for regime_name, entry in results["regimes"].items():
+        for measure in results["measures"]:
+            anomaly = entry["anomaly"][measure]
+            prediction = entry["prediction"][measure]
+            print(
+                f"{regime_name:16s} {measure:14s} {anomaly['auc']:6.3f} "
+                f"{anomaly['tpr_at_fpr_0.3']:8.3f} "
+                f"{prediction['accuracy_mean']:6.1f} "
+                f"{prediction['accuracy_std']:5.1f}"
+            )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"# wrote full results to {args.json}", file=sys.stderr)
+    return 0
 
 
 _EXPERIMENT_MODULES = {
@@ -610,6 +723,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_corpus(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "bakeoff":
+        return _cmd_bakeoff(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -165,8 +165,17 @@ class DistanceRegistry:
 
 
 def default_registry() -> DistanceRegistry:
-    """Registry with the paper's §6.1 line-up: snd, hamming, walk-dist,
-    quad-form (plus l1 used in §6.4)."""
+    """Registry with the paper's §6.1 line-up — snd, hamming, walk-dist,
+    quad-form (plus l1 used in §6.4) — and the scalar polarization
+    baselines of the bake-off (esp, disagreement, bimodality: the change
+    ``|P(G_2) - P(G_1)|`` in each literature measure, see
+    :mod:`repro.analysis.baselines`)."""
+    from repro.analysis.baselines import (
+        bimodality_coefficient,
+        disagreement_index,
+        polarization_index,
+    )
+
     registry = DistanceRegistry()
     registry.register(
         "snd",
@@ -185,5 +194,20 @@ def default_registry() -> DistanceRegistry:
     )
     registry.register(
         "walk-dist", lambda p, q, ctx: walk_distance(ctx.graph, p, q)
+    )
+    registry.register(
+        "esp",
+        lambda p, q, ctx: abs(polarization_index(q) - polarization_index(p)),
+    )
+    registry.register(
+        "disagreement",
+        lambda p, q, ctx: abs(
+            disagreement_index(q, ctx.ensure_laplacian())
+            - disagreement_index(p, ctx.ensure_laplacian())
+        ),
+    )
+    registry.register(
+        "bimodality",
+        lambda p, q, ctx: abs(bimodality_coefficient(q) - bimodality_coefficient(p)),
     )
     return registry

@@ -1,0 +1,37 @@
+"""k-pole generalisation of the SND stack.
+
+The paper's state space has exactly two polar opinions; this package
+generalises it to ``k >= 2`` mutually exclusive poles:
+
+* :class:`MultipolarState` / :class:`MultipolarSeries` — k-pole states
+  with the same byte-stable content fingerprints as bipolar ones, so the
+  cache hierarchy and scheduler layers work unchanged;
+* :func:`~repro.multipolar.ground.pole_edge_costs` — Eq. 2 ground costs
+  per pole, every competing pole adverse (one-vs-rest over the bipolar
+  builder);
+* :class:`MultipolarSND` — the k-pole Eq. 3 generalisation, reducing
+  **bit-identically** to the bipolar :class:`~repro.snd.snd.SND` at
+  ``k = 2``.
+
+The synthetic k-pole evolution process lives in
+:mod:`repro.opinions.models.multipolar_voting`; the polarization-measure
+bake-off comparing ``SND_k`` against scalar literature measures lives in
+:mod:`repro.analysis.bakeoff`.
+"""
+
+from repro.multipolar.ground import pole_edge_costs
+from repro.multipolar.snd import MultipolarSND, MultipolarSNDResult
+from repro.multipolar.state import (
+    POLE_NEUTRAL,
+    MultipolarSeries,
+    MultipolarState,
+)
+
+__all__ = [
+    "POLE_NEUTRAL",
+    "MultipolarState",
+    "MultipolarSeries",
+    "MultipolarSND",
+    "MultipolarSNDResult",
+    "pole_edge_costs",
+]

@@ -1,0 +1,52 @@
+"""k-pole ground costs, layered on the bipolar Eq. 2 builder.
+
+The paper's ground distance (Eq. 2) prices moving one unit of opinion
+mass along an edge as ``comm + adopt + spread``, where the spreading term
+depends on the supplier-side state and on which polar opinion is moving:
+spreading towards users of the *opposite* opinion is penalised (adverse),
+towards co-opinionated users is cheap (friendly).
+
+The k-pole generalisation keeps Eq. 2 verbatim and generalises only the
+friend/foe classification: when pole ``p``'s mass moves, users holding
+``p`` are friendly and users holding **any competing pole** are adverse
+(pairwise, every ``q != p`` is an opponent of ``p``; there is no notion
+of poles being "closer" to each other). Mechanically this is the
+one-vs-rest :meth:`~repro.multipolar.state.MultipolarState.polar_projection`
+fed through the unchanged bipolar pipeline — so quantization (Assumption
+2), the ``U·n`` unreachable cost, and every cache key derived from the
+cost array stay exactly as documented in :mod:`repro.snd.ground`.
+
+At ``k = 2`` the pole-1 projection is the identity embedding and the
+pole-2 projection is its sign flip; for the (symmetric-by-construction)
+:class:`~repro.opinions.models.model_agnostic.ModelAgnostic` penalties
+the projected build equals the bipolar ``build_edge_costs(graph, state,
+±1)`` array for the corresponding opinion — byte for byte. This is what
+makes the k-pole SND reduce bit-identically to Eq. 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.multipolar.state import MultipolarState
+from repro.opinions.state import POSITIVE
+from repro.snd.ground import GroundDistanceConfig
+
+__all__ = ["pole_edge_costs"]
+
+
+def pole_edge_costs(
+    config: GroundDistanceConfig,
+    graph: DiGraph,
+    state: MultipolarState,
+    pole: int,
+) -> np.ndarray:
+    """CSR-aligned Eq. 2 edge costs for *pole*'s mass under *state*.
+
+    Equivalent to ``config.edge_costs(graph, state.polar_projection(pole),
+    POSITIVE)``: the supplier-side state is collapsed one-vs-rest (the
+    pole's adopters positive, every competing pole's adopters negative)
+    and priced by the bipolar builder for the positive opinion.
+    """
+    return config.edge_costs(graph, state.polar_projection(pole), POSITIVE)

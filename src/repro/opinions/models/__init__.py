@@ -4,10 +4,18 @@ from repro.opinions.models.base import OpinionModel
 from repro.opinions.models.independent_cascade import IndependentCascadeModel
 from repro.opinions.models.linear_threshold import LinearThresholdModel
 from repro.opinions.models.model_agnostic import ModelAgnostic
+from repro.opinions.models.multipolar_voting import (
+    evolve_multipolar_state,
+    generate_multipolar_series,
+    seed_multipolar_state,
+)
 
 __all__ = [
     "OpinionModel",
     "ModelAgnostic",
     "IndependentCascadeModel",
     "LinearThresholdModel",
+    "seed_multipolar_state",
+    "evolve_multipolar_state",
+    "generate_multipolar_series",
 ]

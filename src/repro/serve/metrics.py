@@ -417,6 +417,16 @@ def samples_from_stats(stats: dict) -> list[Sample]:
     from the first shard that carries them.
     """
     out: list[Sample] = []
+    for measure, count in (stats.get("measures") or {}).items():
+        out.append(Sample(
+            "snd_measure_requests_total",
+            "snd_measure_requests_total",
+            {"measure": str(measure)},
+            float(count),
+            "Distance requests served, by registry measure (bake-off "
+            "traffic observability).",
+            "counter",
+        ))
     shards = stats.get("shards")
     if shards is None:
         shards = {stats.get("graph", "default"): stats}

@@ -256,6 +256,22 @@ class SNDService:
         self.store_path = store_path
         self._shards: dict[str, EngineShard] = {}
         self._shards_lock = threading.Lock()
+        # Per-measure request counters (bake-off observability): every
+        # distance-serving entry point bumps its measure, so traffic mixes
+        # show up in stats()/"measures" -> /v1/metrics and --cache-stats.
+        self._measure_requests: dict[str, int] = {}
+        self._measures_lock = threading.Lock()
+
+    def _count_measure(self, measure: str) -> None:
+        with self._measures_lock:
+            self._measure_requests[measure] = (
+                self._measure_requests.get(measure, 0) + 1
+            )
+
+    def measure_requests(self) -> dict[str, int]:
+        """Snapshot of requests served per distance measure."""
+        with self._measures_lock:
+            return dict(self._measure_requests)
 
     # Read-only mirrors of the config fields the historical attribute
     # surface exposed (tests and callers read e.g. ``service.jobs``).
@@ -350,6 +366,7 @@ class SNDService:
 
         shard = self.shard(graph_name)
         self._prepare_measure(shard, measure)
+        self._count_measure(measure)
         return default_registry().series(
             measure, shard.series, shard.context,
             jobs=self._normalise_jobs(jobs), window=window,
@@ -361,6 +378,7 @@ class SNDService:
 
         shard = self.shard(graph_name)
         self._prepare_measure(shard, measure)
+        self._count_measure(measure)
         return default_registry().pairwise(
             measure, shard.series, shard.context, jobs=self._normalise_jobs(jobs)
         )
@@ -393,6 +411,7 @@ class SNDService:
             client = self.config.client
         if priority is None:
             priority = self.config.priority
+        self._count_measure("snd")
         return engine.scheduler.submit(
             series[i],
             series[j],
@@ -423,6 +442,7 @@ class SNDService:
         engine = shard.engine(jobs=self._engine_jobs(jobs))
         detector = StreamingAnomalyDetector(threshold=threshold)
         source = shard.series if states is None else states
+        self._count_measure("snd")
         return engine.stream(source, window=window, detector=detector)
 
     # ------------------------------------------------------------------ #
@@ -530,6 +550,7 @@ class SNDService:
         return {
             "store": self.store_path,
             "config": self.config.to_dict(),
+            "measures": self.measure_requests(),
             "shards": {name: shard.stats() for name, shard in shards.items()},
         }
 

@@ -72,8 +72,10 @@ from repro.snd.scheduler import (  # noqa: F401 - re-exported for compat
 __all__ = ["SNDEngine", "Corpus", "StreamUpdate", "resolve_jobs"]
 
 #: Solvers whose per-term solves can consume a warm spanning-tree basis.
-#: ``use_basis_cache="auto"`` activates the basis store only for the pure
-#: network-simplex solver (value-neutral by the warm-exactness contract);
+#: ``use_basis_cache="auto"`` activates the basis store for the pure
+#: network-simplex solver and for ``solver="auto"`` (whose basis-aware
+#: selection routes instances holding a cached basis to the network
+#: simplex — value-neutral by the warm-exactness contract either way);
 #: ``use_basis_cache=True`` extends it to the sinkhorn-hybrid tier by
 #: routing its restricted exact solve through the network simplex.
 WARM_SOLVERS = ("network-simplex", "sinkhorn-hybrid")
@@ -276,10 +278,13 @@ class SNDEngine:
         value-preserving).
     use_basis_cache:
         Warm-start transportation solves from cached optimal bases.
-        ``"auto"`` (default) activates the basis store exactly when the
-        SND instance solves with ``"network-simplex"`` — the only solver
-        where a warm basis is consumed natively and provably
-        value-preserving. ``True`` additionally opts the
+        ``"auto"`` (default) activates the basis store when the SND
+        instance solves with ``"network-simplex"`` (warm bases consumed
+        natively, provably value-preserving) or with ``"auto"`` (the
+        basis-aware selection policy then routes exact mid/large
+        instances holding a cached basis to the network simplex, so
+        temporally-local engine workloads warm-start without any
+        opt-in). ``True`` additionally opts the
         ``"sinkhorn-hybrid"`` tier in (its restricted exact solve is then
         routed through the network simplex; same support, so certified
         error bounds are unchanged). ``False`` disables warm-starting.
@@ -492,15 +497,20 @@ class SNDEngine:
         """The engine's warm-start basis store, or ``None`` when inactive.
 
         Activation is solver-gated (see ``use_basis_cache``): warm hints
-        are only consumed by :data:`WARM_SOLVERS`, and only the pure
-        network simplex qualifies under ``"auto"``.
+        are only consumed by :data:`WARM_SOLVERS`, and under ``"auto"``
+        only by warm-exact routes — the pure network simplex and the
+        ``"auto"`` solver, whose basis-aware selection policy
+        (:func:`repro.flow.select_transport_method`) steers instances with
+        a cached basis onto the network simplex.
         """
         mode = self.use_basis_cache
         if mode is False:
             return None
         solver = getattr(self.snd, "solver", None)
         active = (
-            solver == "network-simplex" if mode == "auto" else solver in WARM_SOLVERS
+            solver in ("network-simplex", "auto")
+            if mode == "auto"
+            else solver in WARM_SOLVERS + ("auto",)
         )
         return self.caches.bases if active else None
 

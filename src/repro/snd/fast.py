@@ -378,11 +378,20 @@ def emd_star_term_fast(
     else:
         folded_rows, folded_cols = sup_ids.size + n_bank_bins, con_ids.size
     if solver == "auto":
+        # Basis-aware selection: when the caller threads a basis cache and
+        # key, a previous optimal basis may be available for this instance
+        # (temporal-locality workloads — sliding windows, corpus appends),
+        # so auto routes the exact mid/large region to the warm-startable
+        # network simplex instead of ssp/lp.
+        warm = basis_cache is not None and basis_key is not None
         if hybrid_cells == "auto":
-            solver = select_transport_method(folded_rows, folded_cols)
+            solver = select_transport_method(
+                folded_rows, folded_cols, warm_basis=warm
+            )
         else:
             solver = select_transport_method(
-                folded_rows, folded_cols, hybrid_cells=hybrid_cells
+                folded_rows, folded_cols, hybrid_cells=hybrid_cells,
+                warm_basis=warm,
             )
     if stats is not None:
         profile = reduced_problem_profile(

@@ -77,7 +77,16 @@ class TestWalkDist:
 class TestRegistry:
     def test_default_lineup(self):
         names = default_registry().names()
-        assert names == ["hamming", "l1", "quad-form", "snd", "walk-dist"]
+        assert names == [
+            "bimodality",
+            "disagreement",
+            "esp",
+            "hamming",
+            "l1",
+            "quad-form",
+            "snd",
+            "walk-dist",
+        ]
 
     def test_compute_and_series(self):
         g = erdos_renyi_graph(15, 0.3, seed=2)

@@ -122,6 +122,18 @@ class TestStatsBridge:
         assert values['snd_cache_total_nbytes{graph="default"}'] == 64
         assert values['snd_engine_pool_starts_total{graph="default"}'] == 1
 
+    def test_measure_request_counters(self):
+        stats = {
+            "measures": {"snd": 4, "esp": 2},
+            "shards": {},
+        }
+        types, values = parse_exposition(
+            render_samples(samples_from_stats(stats))
+        )
+        assert types["snd_measure_requests_total"] == "counter"
+        assert values['snd_measure_requests_total{measure="snd"}'] == 4
+        assert values['snd_measure_requests_total{measure="esp"}'] == 2
+
     def test_solver_families_emitted_once(self):
         shard = {
             "scheduler": {"requested": 1},

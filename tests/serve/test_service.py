@@ -63,6 +63,16 @@ class TestDistances:
         assert service.distance_pair("t", 0, 1) == series_values[0]
         assert service.distance_pair("t", 3, 4) == series_values[3]
 
+    def test_measure_request_counters(self, service):
+        assert service.measure_requests() == {}
+        service.series_distances("t", measure="hamming")
+        service.series_distances("t", measure="esp")
+        service.series_distances("t", measure="esp")
+        service.distance_pair("t", 0, 1)
+        counts = service.measure_requests()
+        assert counts == {"hamming": 1, "esp": 2, "snd": 1}
+        assert service.stats()["measures"] == counts
+
     def test_distance_pair_out_of_range(self, service):
         with pytest.raises(ValidationError, match="out of range"):
             service.distance_pair("t", 0, 99)
